@@ -1,0 +1,150 @@
+"""UC-PC — use case (c): parental control with mid-stream rule flips.
+
+A user x site blocking matrix enforced at DNS resolution time, plus L3
+drops once addresses are learned; then mid-run block/unblock flips
+("deny access ... on-the-fly").
+"""
+
+import pytest
+
+from repro.apps import LearningSwitchApp, ParentalControlApp
+from repro.net import IPv4Address
+from repro.net.dns import DNS_RCODE_REFUSED, DnsMessage, DnsResourceRecord
+
+from common import build_harmless_site, save_result
+
+USERS = 3
+SITES = ["news.example", "games.example", "video.example"]
+ZONE = {name: IPv4Address(f"10.0.0.{200 + i}") for i, name in enumerate(SITES)}
+
+
+def build(return_deployment=False):
+    pc = ParentalControlApp()
+    sim, hosts, deployment, _ = build_harmless_site(
+        USERS + 1, apps_factory=lambda: [pc, LearningSwitchApp()]
+    )
+    users = hosts[:USERS]
+    resolver = hosts[USERS]
+
+    def dns_server(host, src_ip, src_port, dst_port, payload):
+        query = DnsMessage.from_bytes(payload)
+        name = query.questions[0].name
+        if name in ZONE:
+            response = query.make_response(
+                [DnsResourceRecord.a_record(name, ZONE[name])]
+            )
+        else:
+            response = query.make_response(rcode=3)
+        host.send_udp(src_ip, src_port, response.to_bytes(), src_port=53)
+
+    resolver.serve_udp(53, dns_server)
+    if return_deployment:
+        return sim, users, resolver, pc, deployment
+    return sim, users, resolver, pc
+
+
+def resolve(user, resolver, name, txid, results):
+    def on_reply(h, src_ip, src_port, dst_port, payload):
+        results.append((user.name, name, DnsMessage.from_bytes(payload).rcode))
+
+    user.serve_udp(5353, on_reply)
+    user.send_udp(resolver.ip, 53, DnsMessage.query(txid, name).to_bytes(), src_port=5353)
+
+
+def run_matrix():
+    sim, users, resolver, pc = build()
+    # Block matrix: user i blocked from site i.
+    for index, user in enumerate(users):
+        pc.block(user.ip, SITES[index])
+    results = []
+    txid = 0
+    delay = 0.1
+    for user in users:
+        for site in SITES:
+            txid += 1
+            sim.schedule(
+                delay,
+                lambda u=user, s=site, t=txid: resolve(u, resolver, s, t, results),
+            )
+            delay += 0.05
+    sim.run(until=delay + 3.0)
+    refused = [(u, s) for u, s, rcode in results if rcode == DNS_RCODE_REFUSED]
+    resolved = [(u, s) for u, s, rcode in results if rcode == 0]
+    return results, refused, resolved
+
+
+def test_blocking_matrix(benchmark):
+    results, refused, resolved = benchmark(run_matrix)
+    lines = [
+        "=" * 72,
+        f"UC-PC: parental control, {USERS} users x {len(SITES)} sites",
+        "=" * 72,
+        f"lookups answered: {len(results)} / {USERS * len(SITES)}",
+        f"refused (policy hits): {sorted(refused)}",
+        f"resolved: {len(resolved)}",
+    ]
+    save_result("usecase_pc", "\n".join(lines))
+    assert len(results) == USERS * len(SITES)
+    # Exactly the diagonal is refused.
+    assert sorted(refused) == sorted(
+        (f"h{i + 1}", SITES[i]) for i in range(USERS)
+    )
+    assert len(resolved) == USERS * len(SITES) - USERS
+
+
+def test_on_the_fly_flip(benchmark):
+    """Block mid-run, then unblock: the demo's on-the-fly story."""
+
+    def run():
+        sim, users, resolver, pc = build()
+        kid = users[0]
+        outcomes = []
+        results = []
+        resolve(kid, resolver, SITES[0], 1, results)
+        sim.run(until=2.0)
+        outcomes.append(("before-block", results[-1][2]))
+        pc.block(kid.ip, SITES[0])
+        results2 = []
+        resolve(kid, resolver, SITES[0], 2, results2)
+        sim.run(until=4.0)
+        outcomes.append(("after-block", results2[-1][2]))
+        pc.unblock(kid.ip, SITES[0])
+        results3 = []
+        resolve(kid, resolver, SITES[0], 3, results3)
+        sim.run(until=6.0)
+        outcomes.append(("after-unblock", results3[-1][2]))
+        return outcomes
+
+    outcomes = benchmark(run)
+    assert outcomes[0][1] == 0
+    assert outcomes[1][1] == DNS_RCODE_REFUSED
+    assert outcomes[2][1] == 0
+
+
+def test_l3_drop_after_learning(benchmark):
+    """Cached resolutions cannot bypass the filter once IPs are learned."""
+
+    def run():
+        sim, users, resolver, pc, deployment = build(return_deployment=True)
+        kid, other = users[0], users[1]
+        results = []
+        resolve(other, resolver, SITES[1], 9, results)  # app learns the IP
+        sim.run(until=2.0)
+        pc.block(kid.ip, SITES[1])
+        sim.run(until=2.5)
+        # A drop flow for (kid -> site IP) must now sit on SS_2, scoped
+        # to the kid alone.
+        drops = []
+        for table in deployment.s4.ss2.tables:
+            for entry in table:
+                src = entry.match.get("ipv4_src")
+                dst = entry.match.get("ipv4_dst")
+                if src and dst and not any(
+                    True for i in entry.instructions for _ in getattr(i, "actions", ())
+                ):
+                    drops.append((src.value, dst.value))
+        return drops, int(kid.ip), int(ZONE[SITES[1]]), int(other.ip)
+
+    drops, kid_ip, site_ip, other_ip = benchmark(run)
+    assert (kid_ip, site_ip) in drops
+    assert all(src != other_ip for src, _ in drops)

@@ -1,0 +1,116 @@
+"""Shared builders for the benchmark suite.
+
+Each bench builds its environments through these helpers so every row
+in EXPERIMENTS.md is produced by the same code paths the test suite
+exercises.  Results are printed and archived under
+``benchmarks/results/`` so the bench run leaves an auditable artefact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.apps import LearningSwitchApp
+from repro.controller import Controller
+from repro.core import HarmlessManager
+from repro.legacy import LegacySwitch
+from repro.mgmt import DeviceConnection, get_network_driver
+from repro.net import IPv4Address, MACAddress
+from repro.netsim import Host, Link, Simulator
+from repro.snmp import SnmpAgent, attach_bridge_mib
+from repro.softswitch import ESWITCH_COST_MODEL, SoftSwitch
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a result table and archive it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+def make_hosts(sim: Simulator, count: int, net: str = "10.0.0") -> list[Host]:
+    return [
+        Host(
+            sim,
+            f"h{index + 1}",
+            MACAddress(0x020000000001 + index),
+            IPv4Address(f"{net}.{index + 1}"),
+        )
+        for index in range(count)
+    ]
+
+
+def build_harmless_site(
+    num_hosts: int,
+    apps_factory=None,
+    cost_model=ESWITCH_COST_MODEL,
+    legacy_delay_s: float = 4e-6,
+    controller_latency_s: float = 50e-6,
+):
+    """Hosts on a legacy switch migrated by the HARMLESS Manager.
+
+    Returns (sim, hosts, deployment, controller).
+    """
+    num_ports = num_hosts + 1
+    sim = Simulator()
+    legacy = LegacySwitch(
+        sim, "edge", num_ports=num_ports, processing_delay_s=legacy_delay_s
+    )
+    hosts = make_hosts(sim, num_hosts)
+    for index, host in enumerate(hosts):
+        Link(host.port0, legacy.port(index + 1))
+    mib, _ = attach_bridge_mib(legacy)
+    driver = get_network_driver("sim-ios")(
+        DeviceConnection(agent=SnmpAgent(mib), hostname="edge")
+    )
+    driver.open()
+    controller = Controller(sim)
+    for app in (apps_factory or (lambda: [LearningSwitchApp()]))():
+        controller.add_app(app)
+    manager = HarmlessManager(sim, controller=controller, cost_model=cost_model)
+    deployment = manager.migrate(
+        legacy, driver, trunk_port=num_ports, controller_latency_s=controller_latency_s
+    )
+    sim.run(until=0.05)
+    return sim, hosts, deployment, controller
+
+
+def build_ideal_site(
+    num_hosts: int,
+    apps_factory=None,
+    cost_model=ESWITCH_COST_MODEL,
+    controller_latency_s: float = 50e-6,
+):
+    """The reference: hosts directly on one software OpenFlow switch."""
+    sim = Simulator()
+    switch = SoftSwitch(sim, "native", datapath_id=0x42, cost_model=cost_model)
+    hosts = make_hosts(sim, num_hosts)
+    for index, host in enumerate(hosts):
+        Link(host.port0, switch.add_port(index + 1))
+    controller = Controller(sim)
+    for app in (apps_factory or (lambda: [LearningSwitchApp()]))():
+        controller.add_app(app)
+    controller.connect(switch, latency_s=controller_latency_s)
+    sim.run(until=0.05)
+    return sim, hosts, switch, controller
+
+
+def build_legacy_site(num_hosts: int, legacy_delay_s: float = 4e-6):
+    """The pre-migration baseline: hosts on the plain legacy switch."""
+    sim = Simulator()
+    legacy = LegacySwitch(
+        sim, "edge", num_ports=num_hosts + 1, processing_delay_s=legacy_delay_s
+    )
+    hosts = make_hosts(sim, num_hosts)
+    for index, host in enumerate(hosts):
+        Link(host.port0, legacy.port(index + 1))
+    return sim, hosts, legacy
+
+
+def warm_up_pings(sim, hosts, pairs, until=2.0):
+    """Prime ARP tables and reactive flows so measurements are steady-state."""
+    for a, b in pairs:
+        a.ping(b.ip)
+    sim.run(until=sim.now + until)

@@ -1,0 +1,110 @@
+"""Use case (c): parental control — blocking web sites per user, live.
+
+A kid's PC and a parent's PC share a migrated legacy switch with the
+home DNS resolver.  The parental-control app intercepts DNS through
+OpenFlow; blocking "games.example" for the kid refuses the lookup for
+that user only, and the block can be lifted on the fly.
+
+Run:  python examples/parental_control.py
+"""
+
+from repro.apps import LearningSwitchApp, ParentalControlApp
+from repro.controller import Controller
+from repro.core import HarmlessManager
+from repro.legacy import LegacySwitch
+from repro.mgmt import DeviceConnection, get_network_driver
+from repro.net import IPv4Address, MACAddress
+from repro.net.dns import DnsMessage, DnsResourceRecord
+from repro.netsim import Host, Link, Simulator
+from repro.snmp import SnmpAgent, attach_bridge_mib
+
+ZONE = {
+    "school.example": IPv4Address("10.0.0.200"),
+    "games.example": IPv4Address("10.0.0.201"),
+}
+RCODE_NAMES = {0: "NOERROR", 3: "NXDOMAIN", 5: "REFUSED"}
+
+
+def main() -> None:
+    sim = Simulator()
+    legacy = LegacySwitch(sim, "home-switch", num_ports=4)
+    kid = Host(sim, "kid-pc", MACAddress(0x02_00_00_00_00_01), IPv4Address("10.0.0.1"))
+    parent = Host(sim, "parent-pc", MACAddress(0x02_00_00_00_00_02), IPv4Address("10.0.0.2"))
+    resolver = Host(sim, "dns", MACAddress(0x02_00_00_00_00_03), IPv4Address("10.0.0.3"))
+    for index, host in enumerate((kid, parent, resolver)):
+        Link(host.port0, legacy.port(index + 1))
+
+    def dns_server(host, src_ip, src_port, dst_port, payload):
+        query = DnsMessage.from_bytes(payload)
+        name = query.questions[0].name
+        if name in ZONE:
+            response = query.make_response(
+                [DnsResourceRecord.a_record(name, ZONE[name])]
+            )
+        else:
+            response = query.make_response(rcode=3)
+        host.send_udp(src_ip, src_port, response.to_bytes(), src_port=53)
+
+    resolver.serve_udp(53, dns_server)
+
+    pc = ParentalControlApp()
+    controller = Controller(sim)
+    controller.add_app(pc)
+    controller.add_app(LearningSwitchApp())
+
+    mib, _ = attach_bridge_mib(legacy)
+    driver = get_network_driver("sim-ios")(
+        DeviceConnection(agent=SnmpAgent(mib), hostname="home-switch")
+    )
+    driver.open()
+    HarmlessManager(sim, controller=controller).migrate(legacy, driver, trunk_port=4)
+    sim.run(until=0.1)
+
+    answers = []
+
+    def lookup(host, name):
+        def on_reply(h, src_ip, src_port, dst_port, payload):
+            message = DnsMessage.from_bytes(payload)
+            answers.append((host.name, name, message.rcode))
+
+        host.serve_udp(5353, on_reply)
+        host.send_udp(
+            resolver.ip, 53, DnsMessage.query(len(answers) + 1, name).to_bytes(),
+            src_port=5353,
+        )
+
+    def show_last():
+        host_name, site, rcode = answers[-1]
+        print(f"  {host_name:<10s} {site:<16s} -> {RCODE_NAMES.get(rcode, rcode)}")
+
+    print("1) nothing blocked yet:")
+    lookup(kid, "games.example")
+    sim.run(until=1.0)
+    show_last()
+
+    print("\n2) parent blocks games.example for the kid (on the fly):")
+    pc.block(kid.ip, "games.example")
+    lookup(kid, "games.example")
+    sim.run(until=2.0)
+    show_last()
+    lookup(parent, "games.example")
+    sim.run(until=3.0)
+    show_last()
+    lookup(kid, "school.example")
+    sim.run(until=4.0)
+    show_last()
+
+    print("\n3) and unblocks it again:")
+    pc.unblock(kid.ip, "games.example")
+    lookup(kid, "games.example")
+    sim.run(until=5.0)
+    show_last()
+
+    print(
+        f"\napp counters: {pc.queries_refused} refused, "
+        f"{pc.queries_passed} passed"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""HARMLESS reproduction: cost-effective transitioning to SDN.
+
+Full from-scratch reproduction of Szalay et al., "HARMLESS:
+Cost-Effective Transitioning to SDN" (SIGCOMM 2017 Posters & Demos),
+including every substrate the paper's prototype relied on: a packet
+model, a discrete-event network simulator, a legacy 802.1Q switch, an
+SNMP/NAPALM management plane, an OpenFlow 1.3 software switch, and a
+controller framework - with the HARMLESS architecture (tagging +
+hairpinning, translator, S4, Manager) built on top.
+
+Public subpackages: ``repro.net``, ``repro.netsim``, ``repro.legacy``,
+``repro.snmp``, ``repro.mgmt``, ``repro.openflow``, ``repro.softswitch``,
+``repro.controller``, ``repro.apps``, ``repro.core``, ``repro.costmodel``,
+``repro.traffic``, ``repro.nfpa``.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    HarmlessDeployment,
+    HarmlessError,
+    HarmlessManager,
+    HarmlessS4,
+    PortVlanMap,
+)
+
+__all__ = [
+    "__version__",
+    "HarmlessManager",
+    "HarmlessDeployment",
+    "HarmlessError",
+    "HarmlessS4",
+    "PortVlanMap",
+]

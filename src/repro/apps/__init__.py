@@ -1,0 +1,25 @@
+"""Controller applications.
+
+The three use cases the paper demos (load balancer, DMZ, parental
+control) plus the L2 plumbing they ride on (learning switch, ARP
+responder).  All of them are ordinary OpenFlow programs: because the
+HARMLESS translator hides the VLAN mapping, the very same apps run
+unmodified against an ideal OpenFlow switch or a HARMLESS-migrated
+legacy switch — the property the transparency benchmark checks.
+"""
+
+from repro.apps.arp_responder import ArpResponderApp
+from repro.apps.dmz import DmzPolicyApp, Vm
+from repro.apps.learning_switch import LearningSwitchApp
+from repro.apps.load_balancer import Backend, LoadBalancerApp
+from repro.apps.parental_control import ParentalControlApp
+
+__all__ = [
+    "LearningSwitchApp",
+    "ArpResponderApp",
+    "LoadBalancerApp",
+    "Backend",
+    "DmzPolicyApp",
+    "Vm",
+    "ParentalControlApp",
+]

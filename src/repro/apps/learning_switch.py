@@ -1,0 +1,66 @@
+"""Reactive L2 learning switch — the canonical OpenFlow program."""
+
+from __future__ import annotations
+
+from repro.net.addresses import MACAddress
+from repro.net.ethernet import EthernetFrame
+from repro.openflow.actions import OutputAction
+from repro.openflow.consts import OFPP_CONTROLLER
+from repro.openflow.match import Match
+from repro.openflow.messages import PacketIn
+from repro.controller.app import ControllerApp
+from repro.controller.core import Datapath
+
+
+class LearningSwitchApp(ControllerApp):
+    """Learns source MACs from packet-ins and installs forward flows.
+
+    Table-miss sends packets to the controller; once both directions of
+    a conversation are learned, traffic is fully handled in the data
+    plane (two installed flows per MAC pair, like Ryu's simple_switch).
+    """
+
+    name = "learning-switch"
+
+    def __init__(self, flow_priority: int = 10, idle_timeout: int = 0) -> None:
+        super().__init__()
+        self.flow_priority = flow_priority
+        self.idle_timeout = idle_timeout
+        #: dpid -> mac -> port
+        self.tables: dict[int, dict[MACAddress, int]] = {}
+        self.packet_ins_handled = 0
+        self.flows_installed = 0
+
+    def on_switch_ready(self, datapath: Datapath) -> None:
+        # Table-miss: everything to the controller.
+        datapath.flow_add(
+            match=Match(),
+            actions=[OutputAction(port=OFPP_CONTROLLER)],
+            priority=0,
+        )
+
+    def on_packet_in(self, datapath: Datapath, message: PacketIn) -> bool:
+        if message.in_port is None or datapath.dpid is None:
+            return False
+        self.packet_ins_handled += 1
+        frame = EthernetFrame.from_bytes(message.data)
+        table = self.tables.setdefault(datapath.dpid, {})
+        if frame.src.is_unicast:
+            table[frame.src] = message.in_port
+
+        out_port = table.get(frame.dst)
+        if out_port is not None and frame.dst.is_unicast:
+            # Install the forward flow and release the packet to it.
+            datapath.flow_add(
+                match=Match(eth_dst=int(frame.dst)),
+                actions=[OutputAction(port=out_port)],
+                priority=self.flow_priority,
+                idle_timeout=self.idle_timeout,
+            )
+            self.flows_installed += 1
+            datapath.packet_out(
+                message.data, [OutputAction(port=out_port)], in_port=message.in_port
+            )
+        else:
+            datapath.flood(message.data, in_port=message.in_port)
+        return True

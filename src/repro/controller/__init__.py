@@ -1,0 +1,15 @@
+"""Event-driven SDN controller framework (the Ryu stand-in).
+
+A :class:`Controller` connects to any number of
+:class:`~repro.softswitch.datapath.SoftSwitch` instances over
+latency-modelled channels carrying serialised OpenFlow bytes, performs
+the hello/features handshake, and dispatches packet-ins and other
+asynchronous messages to registered :class:`ControllerApp` objects —
+the programming model Ryu applications use.
+"""
+
+from repro.controller.app import ControllerApp
+from repro.controller.channel import ControllerChannel
+from repro.controller.core import Controller, Datapath
+
+__all__ = ["Controller", "Datapath", "ControllerApp", "ControllerChannel"]

@@ -1,0 +1,57 @@
+"""The control channel between one switch and the controller.
+
+Carries serialised OpenFlow bytes in both directions with a one-way
+latency (the management network).  Synchronous replies produced by
+``SoftSwitch.handle_message`` ride back over the same latency, so a
+request/reply exchange costs one RTT — matching what a controller
+measures against a real switch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netsim.simulator import Simulator
+from repro.softswitch.datapath import SoftSwitch
+
+#: One-way control-channel latency: the switch is typically one or two
+#: L2 hops from the controller on the management network.
+DEFAULT_CONTROL_LATENCY_S = 50e-6
+
+
+class ControllerChannel:
+    """Bidirectional byte pipe with latency between controller and switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch: SoftSwitch,
+        latency_s: float = DEFAULT_CONTROL_LATENCY_S,
+    ) -> None:
+        self.sim = sim
+        self.switch = switch
+        self.latency_s = latency_s
+        self.to_controller_handler: "Optional[Callable[[bytes], None]]" = None
+        self.messages_to_switch = 0
+        self.messages_to_controller = 0
+        switch.to_controller = self._from_switch_async
+
+    def send_to_switch(self, raw: bytes) -> None:
+        """Controller -> switch; switch replies return automatically."""
+        self.messages_to_switch += 1
+
+        def deliver() -> None:
+            for response in self.switch.handle_message(raw):
+                self._from_switch_async(response)
+
+        self.sim.schedule(self.latency_s, deliver)
+
+    def _from_switch_async(self, raw: bytes) -> None:
+        """Switch -> controller (async messages and replies)."""
+        self.messages_to_controller += 1
+
+        def deliver() -> None:
+            if self.to_controller_handler is not None:
+                self.to_controller_handler(raw)
+
+        self.sim.schedule(self.latency_s, deliver)

@@ -1,0 +1,45 @@
+"""HARMLESS — the paper's contribution.
+
+Hybrid ARchitecture to Migrate Legacy Ethernet Switches to SDN:
+
+* :mod:`repro.core.portmap` — the access-port <-> VLAN-id bijection,
+* :mod:`repro.core.translator` — SS_1 rule generation (the "Flow table
+  of SS_1" in Fig. 1) and its correctness checker,
+* :mod:`repro.core.s4` — the HARMLESS-S4 composite device (SS_1 + SS_2
+  joined by patch ports),
+* :mod:`repro.core.manager` — end-to-end orchestration: discover the
+  legacy switch over SNMP/NAPALM, push the VLAN scheme, build S4,
+  install translator rules, connect the SDN controller,
+* :mod:`repro.core.migration` — multi-switch incremental migration
+  planning (waves, hybrid operation, cost/downtime accounting),
+* :mod:`repro.core.verify` — data-plane transparency verification by
+  differential testing against an ideal OpenFlow switch.
+"""
+
+from repro.core.manager import HarmlessDeployment, HarmlessError, HarmlessManager
+from repro.core.migration import (
+    MigrationPlan,
+    MigrationPlanner,
+    MigrationStrategy,
+    SwitchSite,
+)
+from repro.core.portmap import PortVlanMap
+from repro.core.s4 import HarmlessS4
+from repro.core.translator import TranslatorRules, verify_translator_rules
+from repro.core.verify import DifferentialResult, TransparencyHarness
+
+__all__ = [
+    "PortVlanMap",
+    "TranslatorRules",
+    "verify_translator_rules",
+    "HarmlessS4",
+    "HarmlessManager",
+    "HarmlessDeployment",
+    "HarmlessError",
+    "MigrationPlanner",
+    "MigrationPlan",
+    "MigrationStrategy",
+    "SwitchSite",
+    "TransparencyHarness",
+    "DifferentialResult",
+]

@@ -1,0 +1,248 @@
+"""The HARMLESS Manager: end-to-end migration orchestration.
+
+Reproduces the paper's workflow: "the manager configures the legacy
+switch, then instantiates HARMLESS-S4.  Finally, it installs the
+corresponding flow rules into SS_1 and connects SS_2 to the SDN
+controller."  Discovery and configuration go through the NAPALM-style
+driver (which speaks SNMP to the device), so the manager is vendor-
+neutral exactly as the paper claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.controller.core import Controller, Datapath
+from repro.legacy.switch import LegacySwitch
+from repro.mgmt.base import ConfigOp, DriverError, NetworkDriver
+from repro.netsim.link import Link
+from repro.netsim.simulator import Simulator
+from repro.softswitch.costmodel import DatapathCostModel, ESWITCH_COST_MODEL
+from repro.core.portmap import DEFAULT_VLAN_BASE, PortVlanMap
+from repro.core.s4 import SS1_TRUNK_PORT, HarmlessS4
+
+#: Default trunk interconnect speed (legacy switch <-> server NIC).
+DEFAULT_TRUNK_BANDWIDTH_BPS = 10_000_000_000
+#: Two metres of fibre/DAC between switch and server.
+DEFAULT_TRUNK_DELAY_S = 1e-6
+
+
+class HarmlessError(Exception):
+    """Deployment failure (with rollback already attempted)."""
+
+
+@dataclass
+class HarmlessDeployment:
+    """Handle for one migrated legacy switch."""
+
+    legacy_switch: LegacySwitch
+    driver: NetworkDriver
+    s4: HarmlessS4
+    port_map: PortVlanMap
+    trunk_port: int
+    trunk_link: Link
+    datapath: Optional[Datapath] = None
+    vendor_config: str = ""
+    active: bool = True
+    log: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.datapath is None:
+            controller_line = "  controller: not connected"
+        elif self.datapath.dpid is None:
+            controller_line = "  controller: handshake in progress"
+        else:
+            controller_line = f"  controller dpid: {self.datapath.dpid:#x}"
+        lines = [
+            f"HARMLESS deployment over {self.legacy_switch.name} "
+            f"({self.driver.vendor})",
+            f"  managed access ports: {self.port_map.ports}",
+            f"  trunk: legacy port {self.trunk_port} <-> SS_1 port {SS1_TRUNK_PORT}",
+            f"  port->vlan: {self.port_map.describe()}",
+            controller_line,
+        ]
+        return "\n".join(lines)
+
+    def teardown(self) -> None:
+        """Undo the migration: restore the legacy VLAN config."""
+        if not self.active:
+            return
+        self.driver.rollback()
+        self.active = False
+        self.log.append("teardown: legacy configuration restored")
+
+
+class HarmlessManager:
+    """Drives migrations; one manager can migrate many switches."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller: "Controller | None" = None,
+        vlan_base: int = DEFAULT_VLAN_BASE,
+        cost_model: DatapathCostModel = ESWITCH_COST_MODEL,
+        trunk_bandwidth_bps: float = DEFAULT_TRUNK_BANDWIDTH_BPS,
+    ) -> None:
+        self.sim = sim
+        self.controller = controller
+        self.vlan_base = vlan_base
+        self.cost_model = cost_model
+        self.trunk_bandwidth_bps = trunk_bandwidth_bps
+        self._next_dpid = 0x100
+        self.deployments: list[HarmlessDeployment] = []
+
+    # ------------------------------------------------------------ workflow
+
+    def migrate(
+        self,
+        legacy_switch: LegacySwitch,
+        driver: NetworkDriver,
+        trunk_port: int,
+        access_ports: "list[int] | None" = None,
+        controller_latency_s: float = 50e-6,
+    ) -> HarmlessDeployment:
+        """Migrate *legacy_switch* to SDN through *driver*.
+
+        *trunk_port* is the legacy port cabled to the HARMLESS server.
+        *access_ports* defaults to every other wired port.  On any
+        failure the legacy configuration is rolled back before raising.
+        """
+        log: list[str] = []
+
+        # 1. Discover the device.
+        facts = driver.get_facts()
+        interfaces = driver.get_interfaces()
+        log.append(
+            f"discovered {facts['hostname']} ({driver.vendor}), "
+            f"{len(interfaces)} interfaces"
+        )
+        all_ports = sorted(info["port"] for info in interfaces.values())
+        if trunk_port not in all_ports:
+            raise HarmlessError(f"trunk port {trunk_port} does not exist on device")
+        if access_ports is None:
+            access_ports = [
+                info["port"]
+                for info in interfaces.values()
+                if info["port"] != trunk_port and info["is_up"]
+            ]
+        access_ports = sorted(set(access_ports))
+        if not access_ports:
+            raise HarmlessError("no access ports to manage")
+        if trunk_port in access_ports:
+            raise HarmlessError("trunk port cannot also be an access port")
+
+        # 2. Plan the VLAN scheme, avoiding ids already on the device.
+        reserved = set(driver.get_vlans())
+        port_map = PortVlanMap.allocate(
+            access_ports, base=self.vlan_base, reserved=reserved
+        )
+        log.append(f"allocated VLANs: {port_map.describe()}")
+
+        # 3. Push the config through the vendor driver (candidate+commit
+        #    so we get NAPALM's preview and rollback behaviour).
+        ops = self._config_ops(port_map, trunk_port)
+        vendor_config = driver.render_config(ops)
+        driver.load_merge_candidate(vendor_config)
+        try:
+            driver.commit_config()
+        except Exception as exc:
+            raise HarmlessError(f"legacy switch rejected config: {exc}") from exc
+        log.append(f"pushed {len(ops)} config ops to {facts['hostname']}")
+
+        try:
+            # 4. Instantiate HARMLESS-S4 and wire the trunk.
+            dpid = self._next_dpid
+            self._next_dpid += 1
+            s4 = HarmlessS4(
+                self.sim,
+                f"harmless-{legacy_switch.name}",
+                access_ports=access_ports,
+                datapath_id=dpid,
+                cost_model=self.cost_model,
+            )
+            trunk_link = Link(
+                legacy_switch.port(trunk_port),
+                s4.trunk_port,
+                bandwidth_bps=self.trunk_bandwidth_bps,
+                propagation_delay_s=DEFAULT_TRUNK_DELAY_S,
+                name=f"{legacy_switch.name}-trunk",
+            )
+            log.append(
+                f"S4 instantiated: dpid={dpid:#x}, "
+                f"{len(access_ports)} patch ports, trunk wired"
+            )
+
+            # 5. Install the translator program into SS_1.
+            rules = s4.install_translator(port_map)
+            log.append(f"installed {len(rules.flow_mods)} rules into SS_1")
+
+            # 6. Connect SS_2 to the SDN controller.
+            datapath = None
+            if self.controller is not None:
+                datapath = self.controller.connect(
+                    s4.ss2, latency_s=controller_latency_s
+                )
+                log.append("SS_2 connected to SDN controller")
+        except Exception as exc:
+            driver.rollback()
+            raise HarmlessError(f"deployment failed, rolled back: {exc}") from exc
+
+        deployment = HarmlessDeployment(
+            legacy_switch=legacy_switch,
+            driver=driver,
+            s4=s4,
+            port_map=port_map,
+            trunk_port=trunk_port,
+            trunk_link=trunk_link,
+            datapath=datapath,
+            vendor_config=vendor_config,
+            log=log,
+        )
+        self.deployments.append(deployment)
+        return deployment
+
+    @staticmethod
+    def _config_ops(port_map: PortVlanMap, trunk_port: int) -> "list[ConfigOp]":
+        """The vendor-neutral ops implementing tagging + hairpinning."""
+        ops: list[ConfigOp] = []
+        for access_port, vlan in port_map:
+            ops.append(
+                ConfigOp(
+                    kind="vlan", vlan_id=vlan, name=f"harmless-p{access_port}"
+                )
+            )
+            ops.append(ConfigOp(kind="access", vlan_id=vlan, port=access_port))
+        ops.append(
+            ConfigOp(
+                kind="trunk",
+                port=trunk_port,
+                allowed_vlans=tuple(port_map.vlans),
+            )
+        )
+        return ops
+
+    # --------------------------------------------------------- validation
+
+    def verify_deployment(self, deployment: HarmlessDeployment) -> list[str]:
+        """Read back device state and check the scheme is in place.
+
+        Returns a list of problems (empty = healthy).
+        """
+        problems: list[str] = []
+        vlans = deployment.driver.get_vlans()
+        for access_port, vlan in deployment.port_map:
+            view = vlans.get(vlan)
+            if view is None:
+                problems.append(f"VLAN {vlan} missing on device")
+                continue
+            if view.untagged != [access_port]:
+                problems.append(
+                    f"VLAN {vlan}: expected untagged [{access_port}], "
+                    f"got {view.untagged}"
+                )
+            if deployment.trunk_port not in view.tagged:
+                problems.append(f"VLAN {vlan}: trunk not a tagged member")
+        if deployment.s4.translator_rules is None:
+            problems.append("SS_1 has no translator rules")
+        return problems

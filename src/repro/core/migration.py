@@ -1,0 +1,169 @@
+"""Incremental migration planning across an enterprise network.
+
+The paper's introduction contrasts migration strategies (per the ONF
+solution brief): incremental migration interferes least with daily
+operation but managing heterogeneous networks is painful; a flag-day
+forklift avoids heterogeneity but costs capex and downtime.  HARMLESS
+waves give incremental SDN coverage at legacy prices.  This module
+models all three over a set of switch sites and accounts capex,
+per-wave service interruption, and SDN-coverage progression.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.costmodel.catalogue import (
+    COTS_OF_SWITCHES,
+    MAX_NICS_PER_SERVER,
+    NIC_SKU,
+    SERVER_SKU,
+)
+
+
+class MigrationStrategy(enum.Enum):
+    """How the enterprise reaches full SDN."""
+
+    #: Replace everything with COTS OpenFlow switches in one flag-day event.
+    FLAG_DAY = "flag-day"
+    #: Replace switches with COTS hardware wave by wave.
+    INCREMENTAL_COTS = "incremental-cots"
+    #: HARMLESS: keep legacy switches, add servers wave by wave.
+    HARMLESS_WAVES = "harmless-waves"
+
+
+@dataclass(frozen=True)
+class SwitchSite:
+    """One legacy switch in the enterprise network."""
+
+    name: str
+    ports: int = 24
+    ports_in_use: int = 20
+    #: Seconds of service interruption to re-cable / reconfigure this
+    #: site (swap-out is much slower than adding a trunk).
+    swap_downtime_s: float = 1800.0
+    harmless_downtime_s: float = 60.0
+
+
+@dataclass
+class MigrationWave:
+    """One step of the plan."""
+
+    index: int
+    sites: list[SwitchSite]
+    capex_usd: float
+    downtime_s: float
+    sdn_ports_after: int
+
+
+@dataclass
+class MigrationPlan:
+    """The full schedule plus its aggregate metrics."""
+
+    strategy: MigrationStrategy
+    waves: list[MigrationWave] = field(default_factory=list)
+
+    @property
+    def total_capex(self) -> float:
+        return sum(wave.capex_usd for wave in self.waves)
+
+    @property
+    def total_downtime_s(self) -> float:
+        return sum(wave.downtime_s for wave in self.waves)
+
+    @property
+    def max_single_downtime_s(self) -> float:
+        return max((wave.downtime_s for wave in self.waves), default=0.0)
+
+    @property
+    def num_waves(self) -> int:
+        return len(self.waves)
+
+    def coverage_curve(self) -> "list[tuple[int, int]]":
+        """(wave index, SDN ports enabled so far) progression."""
+        return [(wave.index, wave.sdn_ports_after) for wave in self.waves]
+
+    def describe(self) -> str:
+        lines = [f"migration plan: {self.strategy.value}, {self.num_waves} wave(s)"]
+        for wave in self.waves:
+            names = ",".join(site.name for site in wave.sites)
+            lines.append(
+                f"  wave {wave.index}: [{names}] capex ${wave.capex_usd:,.0f} "
+                f"downtime {wave.downtime_s:.0f}s "
+                f"-> {wave.sdn_ports_after} SDN ports"
+            )
+        lines.append(
+            f"  total: ${self.total_capex:,.0f}, "
+            f"downtime {self.total_downtime_s:.0f}s"
+        )
+        return "\n".join(lines)
+
+
+class MigrationPlanner:
+    """Builds :class:`MigrationPlan` objects for a site list."""
+
+    def __init__(self, sites: "list[SwitchSite]") -> None:
+        if not sites:
+            raise ValueError("no sites to migrate")
+        self.sites = list(sites)
+
+    # ----------------------------------------------------------- pricing
+
+    @staticmethod
+    def _cots_switch_price(ports: int) -> float:
+        size = 24 if ports <= 24 else 48
+        return COTS_OF_SWITCHES[size].price_usd
+
+    @staticmethod
+    def _harmless_wave_price(num_switches: int) -> float:
+        """Servers + NICs to host S4 instances for *num_switches* sites."""
+        nics = math.ceil(num_switches / 2)
+        servers = max(1, math.ceil(nics / MAX_NICS_PER_SERVER))
+        return servers * SERVER_SKU.price_usd + nics * NIC_SKU.price_usd
+
+    # ------------------------------------------------------------- plans
+
+    def plan(
+        self, strategy: MigrationStrategy, wave_size: int = 2
+    ) -> MigrationPlan:
+        if wave_size < 1:
+            raise ValueError("wave size must be positive")
+        if strategy is MigrationStrategy.FLAG_DAY:
+            waves = [self.sites]
+        else:
+            waves = [
+                self.sites[start : start + wave_size]
+                for start in range(0, len(self.sites), wave_size)
+            ]
+
+        plan = MigrationPlan(strategy=strategy)
+        sdn_ports = 0
+        for index, wave_sites in enumerate(waves, start=1):
+            sdn_ports += sum(site.ports_in_use for site in wave_sites)
+            if strategy is MigrationStrategy.HARMLESS_WAVES:
+                capex = self._harmless_wave_price(len(wave_sites))
+                downtime = sum(site.harmless_downtime_s for site in wave_sites)
+            else:
+                capex = sum(
+                    self._cots_switch_price(site.ports) for site in wave_sites
+                )
+                downtime = sum(site.swap_downtime_s for site in wave_sites)
+            plan.waves.append(
+                MigrationWave(
+                    index=index,
+                    sites=list(wave_sites),
+                    capex_usd=capex,
+                    downtime_s=downtime,
+                    sdn_ports_after=sdn_ports,
+                )
+            )
+        return plan
+
+    def compare_all(self, wave_size: int = 2) -> "dict[str, MigrationPlan]":
+        """All three strategies over the same sites."""
+        return {
+            strategy.value: self.plan(strategy, wave_size=wave_size)
+            for strategy in MigrationStrategy
+        }

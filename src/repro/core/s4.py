@@ -1,0 +1,109 @@
+"""HARMLESS-S4: the composite software device (SS_1 + SS_2).
+
+Two software-switch instances on one server, joined by "as many patch
+ports as the number of managed access ports of the legacy device".
+SS_2's port numbers mirror the legacy access-port numbers, which is the
+whole point: a controller program written for an N-port switch sees an
+N-port switch.
+
+Patch links are ideal (no bandwidth limit); they carry the small fixed
+cost the cost model assigns to crossing switch instances in shared
+memory.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.link import Link
+from repro.netsim.simulator import Simulator
+from repro.openflow.messages import parse_message
+from repro.softswitch.costmodel import DatapathCostModel, ESWITCH_COST_MODEL
+from repro.softswitch.datapath import SoftSwitch
+from repro.core.portmap import PortVlanMap
+from repro.core.translator import (
+    TranslatorRules,
+    generate_translator_rules,
+    verify_translator_rules,
+)
+
+#: SS_1's trunk-facing port number (clear of small patch numbers).
+SS1_TRUNK_PORT = 1000
+
+
+class HarmlessS4:
+    """SS_1 (translator) + SS_2 (controller-facing OF switch)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        access_ports: "list[int]",
+        datapath_id: int,
+        cost_model: DatapathCostModel = ESWITCH_COST_MODEL,
+    ) -> None:
+        if not access_ports:
+            raise ValueError("HARMLESS-S4 needs at least one managed access port")
+        self.sim = sim
+        self.name = name
+        self.access_ports = sorted(set(access_ports))
+        self.cost_model = cost_model
+        # SS_1: translator. One table suffices; dpid is internal-only.
+        self.ss1 = SoftSwitch(
+            sim,
+            f"{name}-ss1",
+            datapath_id=(datapath_id << 8) | 0x01,
+            num_tables=1,
+            cost_model=cost_model,
+        )
+        # SS_2: the controller-managed switch.
+        self.ss2 = SoftSwitch(
+            sim,
+            f"{name}-ss2",
+            datapath_id=datapath_id,
+            num_tables=4,
+            cost_model=cost_model,
+        )
+        self.trunk_port = self.ss1.add_port(SS1_TRUNK_PORT, name=f"{name}-trunk")
+        self.patch_port_of: dict[int, int] = {}
+        patch_delay_s = cost_model.patch_ns * 1e-9
+        for access_port in self.access_ports:
+            ss1_port = self.ss1.add_port(access_port)
+            ss2_port = self.ss2.add_port(access_port)
+            Link(
+                ss1_port,
+                ss2_port,
+                bandwidth_bps=None,
+                propagation_delay_s=patch_delay_s,
+                name=f"{name}-patch{access_port}",
+            )
+            self.patch_port_of[access_port] = access_port
+        self.translator_rules: "TranslatorRules | None" = None
+
+    def install_translator(self, port_map: PortVlanMap) -> TranslatorRules:
+        """Generate, verify and push SS_1's rules for *port_map*."""
+        if sorted(port_map.ports) != self.access_ports:
+            raise ValueError(
+                f"port map covers {port_map.ports}, S4 manages {self.access_ports}"
+            )
+        rules = generate_translator_rules(
+            port_map, trunk_port=SS1_TRUNK_PORT, patch_port_of=self.patch_port_of
+        )
+        check = verify_translator_rules(rules)
+        if not check.ok:
+            raise ValueError(f"translator rules failed verification: {check.problems}")
+        for flow_mod in rules.flow_mods:
+            errors = self.ss1.handle_message(flow_mod.to_bytes())
+            if errors:
+                raise RuntimeError(
+                    f"SS_1 rejected translator rule: {parse_message(errors[0])}"
+                )
+        self.translator_rules = rules
+        return rules
+
+    def dump(self) -> str:
+        """Readable state of both instances (used by the FIG1 bench)."""
+        sections = [f"### HARMLESS-S4 '{self.name}' ###"]
+        if self.translator_rules is not None:
+            sections.append(self.translator_rules.describe())
+        sections.append(self.ss1.dump_pipeline())
+        sections.append(self.ss2.dump_pipeline())
+        return "\n".join(sections)

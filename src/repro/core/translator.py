@@ -1,0 +1,208 @@
+"""SS_1, the OpenFlow Translator Component: rule generation + checking.
+
+The translator is "an adaptation layer ... to dispatch packets to and
+from the patch ports based on the used VLAN ids" (Fig. 1).  Its flow
+table has exactly two rule shapes:
+
+* trunk -> patch:  match (in_port=trunk, vlan_vid=V(p)) ->
+  pop_vlan, output patch port of p
+* patch -> trunk:  match (in_port=patch port of p) ->
+  push_vlan, set vlan_vid V(p), output trunk
+
+``verify_translator_rules`` proves a rule list implements the port map
+exactly (no missing port, no stray rule, bijective dispatch) — the
+property data-plane transparency rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.openflow.actions import (
+    OutputAction,
+    PopVlanAction,
+    PushVlanAction,
+    SetFieldAction,
+)
+from repro.openflow.consts import OFPVID_PRESENT
+from repro.openflow.instructions import ApplyActions
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod
+from repro.core.portmap import PortVlanMap
+
+#: Priority for the translator's two rule families (anything above the
+#: implicit drop works; a single level keeps the table trivially
+#: non-overlapping).
+TRANSLATOR_PRIORITY = 100
+
+
+@dataclass
+class TranslatorRules:
+    """The generated SS_1 program, plus the context that produced it."""
+
+    port_map: PortVlanMap
+    trunk_port: int
+    patch_port_of: dict[int, int] = field(default_factory=dict)
+    flow_mods: list[FlowMod] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Fig. 1-style rendering of the flow table of SS_1."""
+        lines = ["Flow table of SS_1:"]
+        for access_port, vlan in self.port_map:
+            patch = self.patch_port_of[access_port]
+            lines.append(
+                f"  in_port={self.trunk_port}(trunk), vlan={vlan}"
+                f"  -> pop_vlan, output:{patch} (patch {access_port})"
+            )
+        for access_port, vlan in self.port_map:
+            patch = self.patch_port_of[access_port]
+            lines.append(
+                f"  in_port={patch}(patch {access_port})"
+                f"  -> push_vlan {vlan}, output:{self.trunk_port} (trunk)"
+            )
+        return "\n".join(lines)
+
+
+def generate_translator_rules(
+    port_map: PortVlanMap,
+    trunk_port: int,
+    patch_port_of: "dict[int, int]",
+) -> TranslatorRules:
+    """Build SS_1's flow mods for *port_map*.
+
+    *patch_port_of* maps each managed access port to SS_1's patch-port
+    number leading to SS_2.
+    """
+    missing = [port for port in port_map.ports if port not in patch_port_of]
+    if missing:
+        raise ValueError(f"no patch port assigned for access ports {missing}")
+    used = [patch_port_of[port] for port in port_map.ports]
+    if len(set(used)) != len(used):
+        raise ValueError("patch ports must be distinct per access port")
+    if trunk_port in used:
+        raise ValueError("trunk port collides with a patch port")
+
+    flow_mods: list[FlowMod] = []
+    for access_port, vlan in port_map:
+        patch = patch_port_of[access_port]
+        # Trunk -> patch: strip the tag, dispatch by VLAN.
+        flow_mods.append(
+            FlowMod(
+                match=Match(in_port=trunk_port, vlan_vid=OFPVID_PRESENT | vlan),
+                instructions=[
+                    ApplyActions(
+                        actions=(PopVlanAction(), OutputAction(port=patch))
+                    )
+                ],
+                priority=TRANSLATOR_PRIORITY,
+            )
+        )
+        # Patch -> trunk: tag with the port's VLAN, hairpin back.
+        flow_mods.append(
+            FlowMod(
+                match=Match(in_port=patch),
+                instructions=[
+                    ApplyActions(
+                        actions=(
+                            PushVlanAction(),
+                            SetFieldAction.vlan_vid(vlan),
+                            OutputAction(port=trunk_port),
+                        )
+                    )
+                ],
+                priority=TRANSLATOR_PRIORITY,
+            )
+        )
+    return TranslatorRules(
+        port_map=port_map,
+        trunk_port=trunk_port,
+        patch_port_of=dict(patch_port_of),
+        flow_mods=flow_mods,
+    )
+
+
+@dataclass
+class TranslatorCheck:
+    """Result of verifying a translator rule list."""
+
+    ok: bool
+    problems: list[str] = field(default_factory=list)
+
+
+def verify_translator_rules(rules: TranslatorRules) -> TranslatorCheck:
+    """Statically prove *rules* implement the port map bijectively.
+
+    Checks: every managed port has exactly one trunk->patch and one
+    patch->trunk rule; VLAN ids and patch ports line up with the map;
+    no extra rules exist.
+    """
+    problems: list[str] = []
+    rules.port_map.validate()
+
+    trunk_to_patch: dict[int, int] = {}  # vlan -> patch port
+    patch_to_trunk: dict[int, int] = {}  # patch port -> vlan
+
+    for flow_mod in rules.flow_mods:
+        in_port_constraint = flow_mod.match.get("in_port")
+        if in_port_constraint is None:
+            problems.append(f"rule without in_port match: {flow_mod.match.describe()}")
+            continue
+        in_port = in_port_constraint.value
+        actions = []
+        for instruction in flow_mod.instructions:
+            if isinstance(instruction, ApplyActions):
+                actions.extend(instruction.actions)
+        if in_port == rules.trunk_port:
+            vlan_constraint = flow_mod.match.get("vlan_vid")
+            if vlan_constraint is None:
+                problems.append("trunk rule without vlan match")
+                continue
+            vlan = vlan_constraint.value & 0xFFF
+            pops = [a for a in actions if isinstance(a, PopVlanAction)]
+            outputs = [a for a in actions if isinstance(a, OutputAction)]
+            if len(pops) != 1 or len(outputs) != 1:
+                problems.append(f"trunk rule for vlan {vlan} malformed")
+                continue
+            if vlan in trunk_to_patch:
+                problems.append(f"duplicate trunk rule for vlan {vlan}")
+            trunk_to_patch[vlan] = outputs[0].port
+        else:
+            pushes = [a for a in actions if isinstance(a, PushVlanAction)]
+            sets = [
+                a
+                for a in actions
+                if isinstance(a, SetFieldAction) and a.field == "vlan_vid"
+            ]
+            outputs = [a for a in actions if isinstance(a, OutputAction)]
+            if len(pushes) != 1 or len(sets) != 1 or len(outputs) != 1:
+                problems.append(f"patch rule for in_port {in_port} malformed")
+                continue
+            if outputs[0].port != rules.trunk_port:
+                problems.append(
+                    f"patch rule for in_port {in_port} does not output to trunk"
+                )
+            if in_port in patch_to_trunk:
+                problems.append(f"duplicate patch rule for in_port {in_port}")
+            patch_to_trunk[in_port] = sets[0].value & 0xFFF
+
+    for access_port, vlan in rules.port_map:
+        expected_patch = rules.patch_port_of[access_port]
+        if trunk_to_patch.get(vlan) != expected_patch:
+            problems.append(
+                f"vlan {vlan} (port {access_port}) does not dispatch to patch "
+                f"{expected_patch} (got {trunk_to_patch.get(vlan)})"
+            )
+        if patch_to_trunk.get(expected_patch) != vlan:
+            problems.append(
+                f"patch {expected_patch} (port {access_port}) does not tag "
+                f"{vlan} (got {patch_to_trunk.get(expected_patch)})"
+            )
+    extra_vlans = set(trunk_to_patch) - set(rules.port_map.vlans)
+    if extra_vlans:
+        problems.append(f"stray trunk rules for vlans {sorted(extra_vlans)}")
+    expected_patches = {rules.patch_port_of[p] for p in rules.port_map.ports}
+    extra_patches = set(patch_to_trunk) - expected_patches
+    if extra_patches:
+        problems.append(f"stray patch rules for ports {sorted(extra_patches)}")
+
+    return TranslatorCheck(ok=not problems, problems=problems)

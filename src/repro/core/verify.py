@@ -1,0 +1,182 @@
+"""Data-plane transparency verification by differential testing.
+
+The architectural property everything rests on: a controller program
+cannot tell a HARMLESS-migrated legacy switch from an ideal OpenFlow
+switch.  The harness builds both environments with identical hosts and
+identical controller apps, drives both with the same seeded traffic,
+and diffs what the hosts observed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.controller.core import Controller
+from repro.legacy.switch import LegacySwitch
+from repro.mgmt import DeviceConnection, get_network_driver
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.netsim.host import Host
+from repro.netsim.link import Link
+from repro.netsim.simulator import Simulator
+from repro.snmp import SnmpAgent, attach_bridge_mib
+from repro.softswitch.costmodel import DatapathCostModel
+from repro.softswitch.datapath import SoftSwitch
+from repro.core.manager import HarmlessManager
+
+#: Cost model with zero delay: differential runs compare *behaviour*,
+#: so timing differences between environments must not cause mismatches.
+ZERO_COST = DatapathCostModel(0, 0, 0, 0, 0, 0)
+
+AppFactory = Callable[[], list]
+TrafficScript = Callable[["Environment"], None]
+
+
+@dataclass
+class Environment:
+    """One side of the differential setup."""
+
+    kind: str  # "harmless" | "ideal"
+    sim: Simulator
+    hosts: list[Host]
+    controller: Controller
+
+    def observations(self) -> dict[str, object]:
+        """What the hosts experienced, in comparable form."""
+        result: dict[str, object] = {}
+        for host in self.hosts:
+            result[host.name] = {
+                "udp": sorted(
+                    (str(src), src_port, dst_port, payload)
+                    for src, src_port, dst_port, payload in host.udp_received
+                ),
+                "pings_ok": len(host.rtts()),
+                "pings_lost": sum(1 for r in host.ping_results if r.lost),
+            }
+        return result
+
+
+@dataclass
+class DifferentialResult:
+    """Outcome of one differential run."""
+
+    equivalent: bool
+    mismatches: list[str] = field(default_factory=list)
+    harmless_obs: dict = field(default_factory=dict)
+    ideal_obs: dict = field(default_factory=dict)
+
+
+class TransparencyHarness:
+    """Builds paired environments and runs differential experiments."""
+
+    def __init__(
+        self,
+        num_hosts: int,
+        app_factory: AppFactory,
+        num_legacy_ports: "int | None" = None,
+    ) -> None:
+        self.num_hosts = num_hosts
+        self.app_factory = app_factory
+        self.num_legacy_ports = num_legacy_ports or (num_hosts + 1)
+
+    def _make_hosts(self, sim: Simulator) -> list[Host]:
+        return [
+            Host(
+                sim,
+                f"h{index + 1}",
+                MACAddress(0x020000000001 + index),
+                IPv4Address(f"10.0.0.{index + 1}"),
+            )
+            for index in range(self.num_hosts)
+        ]
+
+    def build_harmless(self) -> Environment:
+        """Legacy switch + HARMLESS migration, hosts on ports 1..N."""
+        sim = Simulator()
+        legacy = LegacySwitch(
+            sim, "legacy", num_ports=self.num_legacy_ports, processing_delay_s=0.0
+        )
+        hosts = self._make_hosts(sim)
+        for index, host in enumerate(hosts):
+            Link(host.port0, legacy.port(index + 1))
+        mib, _ = attach_bridge_mib(legacy)
+        driver = get_network_driver("sim-ios")(
+            DeviceConnection(agent=SnmpAgent(mib), hostname="legacy")
+        )
+        driver.open()
+        controller = Controller(sim)
+        for app in self.app_factory():
+            controller.add_app(app)
+        manager = HarmlessManager(sim, controller=controller, cost_model=ZERO_COST)
+        manager.migrate(
+            legacy,
+            driver,
+            trunk_port=self.num_legacy_ports,
+            access_ports=list(range(1, self.num_hosts + 1)),
+            controller_latency_s=1e-6,
+        )
+        sim.run(until=0.01)  # let the handshake and app setup settle
+        return Environment(kind="harmless", sim=sim, hosts=hosts, controller=controller)
+
+    def build_ideal(self) -> Environment:
+        """The reference: hosts directly on an ideal OpenFlow switch."""
+        sim = Simulator()
+        switch = SoftSwitch(sim, "ideal", datapath_id=0x100, cost_model=ZERO_COST)
+        hosts = self._make_hosts(sim)
+        for index, host in enumerate(hosts):
+            Link(host.port0, switch.add_port(index + 1))
+        controller = Controller(sim)
+        for app in self.app_factory():
+            controller.add_app(app)
+        controller.connect(switch, latency_s=1e-6)
+        sim.run(until=0.01)
+        return Environment(kind="ideal", sim=sim, hosts=hosts, controller=controller)
+
+    def run(
+        self, traffic: TrafficScript, horizon_s: float = 5.0
+    ) -> DifferentialResult:
+        """Drive both environments with *traffic* and diff the outcome."""
+        harmless_env = self.build_harmless()
+        ideal_env = self.build_ideal()
+        for env in (harmless_env, ideal_env):
+            traffic(env)
+            env.sim.run(until=env.sim.now + horizon_s)
+        harmless_obs = harmless_env.observations()
+        ideal_obs = ideal_env.observations()
+        mismatches = []
+        for host_name in sorted(set(harmless_obs) | set(ideal_obs)):
+            mine = harmless_obs.get(host_name)
+            theirs = ideal_obs.get(host_name)
+            if mine != theirs:
+                mismatches.append(
+                    f"{host_name}: harmless={mine!r} ideal={theirs!r}"
+                )
+        return DifferentialResult(
+            equivalent=not mismatches,
+            mismatches=mismatches,
+            harmless_obs=harmless_obs,
+            ideal_obs=ideal_obs,
+        )
+
+
+def random_udp_traffic(
+    seed: int, num_messages: int = 40, window_s: float = 2.0
+) -> TrafficScript:
+    """A seeded random unicast UDP workload (same in both environments)."""
+
+    def script(env: Environment) -> None:
+        rng = random.Random(seed)
+        for index in range(num_messages):
+            sender, receiver = rng.sample(env.hosts, 2)
+            delay = rng.uniform(0.0, window_s)
+            payload = f"msg-{index}".encode()
+            port = rng.choice([4000, 5000, 6000])
+            env.sim.schedule(
+                delay,
+                lambda s=sender, r=receiver, p=payload, dp=port, i=index: s.send_udp(
+                    r.ip, dp, p, src_port=10000 + i % 1000
+                ),
+            )
+
+    return script

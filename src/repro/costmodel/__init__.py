@@ -1,0 +1,34 @@
+"""Capex model behind the paper's cost-effectiveness claim.
+
+HARMLESS "protects current investment by offering a cost-effective
+migration strategy": the enterprise keeps its paid-for legacy switches
+and adds one commodity server per group of switches, instead of
+replacing every box with a COTS OpenFlow switch.  This package prices
+the three strategies (HARMLESS, COTS hardware, pure software switching)
+over a synthetic but realistic 2017-era device catalogue and finds the
+crossover points.
+"""
+
+from repro.costmodel.catalogue import (
+    COTS_OF_SWITCHES,
+    DeviceSku,
+    LEGACY_SWITCHES,
+    NIC_SKU,
+    SERVER_SKU,
+)
+from repro.costmodel.model import (
+    CostBreakdown,
+    CostModel,
+    StrategyCost,
+)
+
+__all__ = [
+    "DeviceSku",
+    "LEGACY_SWITCHES",
+    "COTS_OF_SWITCHES",
+    "SERVER_SKU",
+    "NIC_SKU",
+    "CostModel",
+    "CostBreakdown",
+    "StrategyCost",
+]

@@ -1,0 +1,192 @@
+"""Capex computation for the three SDN-migration strategies."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.costmodel.catalogue import (
+    COTS_OF_SWITCHES,
+    LEGACY_SWITCHES,
+    MAX_NICS_PER_SERVER,
+    NIC_SKU,
+    QUAD_GBE_NIC_SKU,
+    SERVER_SKU,
+)
+
+
+@dataclass
+class CostBreakdown:
+    """Itemised bill for one strategy at one port count."""
+
+    items: list[tuple[str, int, float]] = field(default_factory=list)
+
+    def add(self, name: str, quantity: int, unit_price: float) -> None:
+        if quantity:
+            self.items.append((name, quantity, unit_price))
+
+    @property
+    def total(self) -> float:
+        return sum(quantity * price for _, quantity, price in self.items)
+
+    def describe(self) -> str:
+        lines = [
+            f"  {quantity:3d} x {name:<18s} @ ${price:8.2f} = ${quantity * price:10.2f}"
+            for name, quantity, price in self.items
+        ]
+        lines.append(f"  {'total':>37s} = ${self.total:10.2f}")
+        return "\n".join(lines)
+
+
+@dataclass
+class StrategyCost:
+    """Result of pricing one strategy."""
+
+    strategy: str
+    ports: int
+    breakdown: CostBreakdown
+    notes: str = ""
+
+    @property
+    def total(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def per_port(self) -> float:
+        return self.total / self.ports if self.ports else float("inf")
+
+
+class CostModel:
+    """Prices SDN-enablement of *n* access ports under each strategy.
+
+    Parameters
+    ----------
+    legacy_owned:
+        If True (the HARMLESS premise), existing legacy switches carry
+        zero incremental capex; otherwise their purchase is included
+        (the greenfield comparison).
+    oversubscription:
+        Access-to-trunk oversubscription the operator accepts.  At 1.0
+        a 10G trunk serves 10 GbE access ports at line rate; enterprise
+        access networks commonly run 4:1 or more.
+    """
+
+    def __init__(
+        self, legacy_owned: bool = True, oversubscription: float = 4.0
+    ) -> None:
+        if oversubscription < 1.0:
+            raise ValueError("oversubscription factor below 1 is meaningless")
+        self.legacy_owned = legacy_owned
+        self.oversubscription = oversubscription
+
+    # ------------------------------------------------------------ helpers
+
+    @staticmethod
+    def _switch_mix(ports: int, skus: dict) -> list[tuple[int, int]]:
+        """Greedy fill with 48-port units, then one smaller if it fits."""
+        full, remainder = divmod(ports, 48)
+        mix = []
+        if full:
+            mix.append((48, full))
+        if remainder:
+            size = 24 if remainder <= 24 else 48
+            mix.append((size, 1))
+        return mix
+
+    def legacy_switches_for(self, ports: int) -> list[tuple[int, int]]:
+        return self._switch_mix(ports, LEGACY_SWITCHES)
+
+    # ----------------------------------------------------------- strategies
+
+    def harmless(self, ports: int) -> StrategyCost:
+        """Legacy switches (owned) + servers running SS_1/SS_2.
+
+        Each legacy switch needs one trunk (one 10G NIC port); each
+        server takes MAX-ish NICs and must also have the CPU budget for
+        the aggregate packet rate.
+        """
+        breakdown = CostBreakdown()
+        mix = self.legacy_switches_for(ports)
+        num_switches = sum(count for _, count in mix)
+        if not self.legacy_owned:
+            for size, count in mix:
+                sku = LEGACY_SWITCHES[size]
+                breakdown.add(sku.name, count, sku.price_usd)
+
+        # Trunks: one 10G port per legacy switch; NICs are dual-port.
+        nics_needed = math.ceil(num_switches / 2)
+
+        # Server CPU: worst-case aggregate pps through the HARMLESS
+        # pipeline (SS_1 + SS_2 = 2 lookups + vlan ops per packet).
+        # 64B line rate per GbE port ~ 1.488 Mpps, damped by
+        # oversubscription; pipeline cost halves effective core rate.
+        per_port_mpps = 1.488e6 / self.oversubscription
+        required_pps = ports * per_port_mpps
+        effective_pps_per_core = SERVER_SKU.pps_per_core / 2.0
+        cores_needed = math.ceil(required_pps / effective_pps_per_core)
+        servers_by_cpu = math.ceil(cores_needed / SERVER_SKU.cores)
+        servers_by_nic = math.ceil(nics_needed / MAX_NICS_PER_SERVER)
+        servers = max(1, servers_by_cpu, servers_by_nic)
+
+        breakdown.add(SERVER_SKU.name, servers, SERVER_SKU.price_usd)
+        breakdown.add(NIC_SKU.name, nics_needed, NIC_SKU.price_usd)
+        return StrategyCost(
+            strategy="harmless",
+            ports=ports,
+            breakdown=breakdown,
+            notes=(
+                f"{num_switches} legacy switches "
+                f"({'owned' if self.legacy_owned else 'purchased'}), "
+                f"{servers} server(s), oversub {self.oversubscription:.0f}:1"
+            ),
+        )
+
+    def cots_hardware(self, ports: int) -> StrategyCost:
+        """Forklift to COTS OpenFlow switches."""
+        breakdown = CostBreakdown()
+        for size, count in self._switch_mix(ports, COTS_OF_SWITCHES):
+            sku = COTS_OF_SWITCHES[size]
+            breakdown.add(sku.name, count, sku.price_usd)
+        return StrategyCost(
+            strategy="cots-hardware", ports=ports, breakdown=breakdown
+        )
+
+    def pure_software(self, ports: int) -> StrategyCost:
+        """Servers with quad-GbE NICs as the switches themselves.
+
+        This is the "lower league in port density" option the paper
+        mentions: each server yields at most MAX_NICS x 4 access ports.
+        """
+        breakdown = CostBreakdown()
+        ports_per_server = MAX_NICS_PER_SERVER * QUAD_GBE_NIC_SKU.ports
+        servers = math.ceil(ports / ports_per_server)
+        nics = math.ceil(ports / QUAD_GBE_NIC_SKU.ports)
+        breakdown.add(SERVER_SKU.name, servers, SERVER_SKU.price_usd)
+        breakdown.add(QUAD_GBE_NIC_SKU.name, nics, QUAD_GBE_NIC_SKU.price_usd)
+        return StrategyCost(
+            strategy="pure-software",
+            ports=ports,
+            breakdown=breakdown,
+            notes=f"{servers} server(s), {ports_per_server} ports/server max",
+        )
+
+    # ------------------------------------------------------------ analysis
+
+    def compare(self, ports: int) -> dict[str, StrategyCost]:
+        return {
+            "harmless": self.harmless(ports),
+            "cots-hardware": self.cots_hardware(ports),
+            "pure-software": self.pure_software(ports),
+        }
+
+    def sweep(self, port_counts: "list[int]") -> "list[dict[str, StrategyCost]]":
+        return [self.compare(ports) for ports in port_counts]
+
+    def crossover_vs_cots(self, max_ports: int = 2048, step: int = 8) -> "int | None":
+        """Smallest port count where COTS becomes cheaper than HARMLESS
+        (None if HARMLESS stays cheaper over the whole range)."""
+        for ports in range(step, max_ports + 1, step):
+            comparison = self.compare(ports)
+            if comparison["cots-hardware"].total < comparison["harmless"].total:
+                return ports
+        return None

@@ -1,0 +1,132 @@
+"""The forwarding database (MAC table) of the legacy switch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.net.addresses import MACAddress
+
+
+@dataclass
+class FdbEntry:
+    """One learned (VLAN, MAC) -> port binding."""
+
+    vlan_id: int
+    mac: MACAddress
+    port: int
+    learned_at: float
+    static: bool = False
+
+    def age(self, now: float) -> float:
+        return now - self.learned_at
+
+
+class ForwardingDatabase:
+    """A bounded, aging MAC table.
+
+    Real switches have a fixed-size CAM; when it fills, the oldest
+    dynamic entry is evicted (a simplification of hash-bucket collision
+    behaviour that preserves the important property: tables overflow and
+    traffic to evicted MACs floods).
+    """
+
+    def __init__(self, capacity: int = 8192, aging_s: float = 300.0) -> None:
+        if capacity < 1:
+            raise ValueError("FDB capacity must be positive")
+        self.capacity = capacity
+        self.aging_s = aging_s
+        self._entries: dict[tuple[int, MACAddress], FdbEntry] = {}
+        self.learn_events = 0
+        self.move_events = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def learn(self, vlan_id: int, mac: MACAddress, port: int, now: float) -> None:
+        """Learn or refresh a dynamic entry; never overrides static ones."""
+        if mac.is_multicast:
+            return  # group addresses are never sources
+        key = (vlan_id, mac)
+        existing = self._entries.get(key)
+        if existing is not None:
+            if existing.static:
+                return
+            if existing.port != port:
+                self.move_events += 1
+            existing.port = port
+            existing.learned_at = now
+            return
+        if len(self._entries) >= self.capacity:
+            self._evict_oldest()
+        self._entries[key] = FdbEntry(
+            vlan_id=vlan_id, mac=mac, port=port, learned_at=now
+        )
+        self.learn_events += 1
+
+    def add_static(self, vlan_id: int, mac: MACAddress, port: int) -> None:
+        """Pin a (VLAN, MAC) to a port; survives aging and flushes."""
+        self._entries[(vlan_id, mac)] = FdbEntry(
+            vlan_id=vlan_id, mac=mac, port=port, learned_at=0.0, static=True
+        )
+
+    def _evict_oldest(self) -> None:
+        dynamic = [
+            (entry.learned_at, key)
+            for key, entry in self._entries.items()
+            if not entry.static
+        ]
+        if not dynamic:
+            raise RuntimeError("FDB full of static entries")
+        _, victim = min(dynamic)
+        del self._entries[victim]
+        self.evictions += 1
+
+    def lookup(self, vlan_id: int, mac: MACAddress, now: float) -> Optional[int]:
+        """The port for (vlan, mac), or None if unknown/expired."""
+        entry = self._entries.get((vlan_id, mac))
+        if entry is None:
+            return None
+        if not entry.static and entry.age(now) > self.aging_s:
+            del self._entries[(vlan_id, mac)]
+            return None
+        return entry.port
+
+    def expire(self, now: float) -> int:
+        """Remove all dynamic entries older than the aging time."""
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if not entry.static and entry.age(now) > self.aging_s
+        ]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def flush_port(self, port: int) -> int:
+        """Drop all dynamic entries pointing at *port* (link-down handling)."""
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if entry.port == port and not entry.static
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def flush_vlan(self, vlan_id: int) -> int:
+        """Drop all dynamic entries in *vlan_id*."""
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if entry.vlan_id == vlan_id and not entry.static
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def entries(self) -> Iterator[FdbEntry]:
+        """All entries, sorted by (vlan, mac) — the order SNMP walks them."""
+        for key in sorted(self._entries):
+            yield self._entries[key]

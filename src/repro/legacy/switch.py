@@ -1,0 +1,187 @@
+"""The legacy switch data plane.
+
+Faithful 802.1Q bridging:
+
+* ingress classification (access PVID / trunk tag / native VLAN),
+* ingress filtering (frames in VLANs a port does not carry are dropped),
+* source learning into the per-VLAN FDB,
+* known-unicast forwarding, unknown-unicast/broadcast/multicast flooding
+  within the VLAN,
+* egress tagging rules (access and native egress untagged, trunk
+  tagged).
+
+This is exactly the machinery HARMLESS exploits: putting each access
+port in its own VLAN makes the trunk carry a per-port tag, and the FDB
+does the hairpin turn on the way back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.ethernet import EthernetFrame
+from repro.netsim.node import Node, Port
+from repro.netsim.simulator import Simulator
+from repro.legacy.config import PortMode, RunningConfig
+from repro.legacy.fdb import ForwardingDatabase
+
+#: Store-and-forward lookup latency of typical GbE merchant silicon.
+DEFAULT_PROCESSING_DELAY_S = 4e-6
+
+
+@dataclass
+class SwitchCounters:
+    """Aggregate data-plane counters (exported via SNMP)."""
+
+    rx_frames: int = 0
+    tx_frames: int = 0
+    flooded: int = 0
+    filtered_ingress: int = 0
+    dropped_no_ports: int = 0
+    per_port_rx: dict[int, int] = field(default_factory=dict)
+    per_port_tx: dict[int, int] = field(default_factory=dict)
+
+
+class LegacySwitch(Node):
+    """A legacy managed Ethernet switch.
+
+    Ports must be created with :meth:`add_port` before use; their VLAN
+    behaviour is controlled entirely by the :class:`RunningConfig`,
+    which the management plane (SNMP/driver) edits at runtime — just
+    like reconfiguring a real switch while traffic flows.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        num_ports: int = 24,
+        fdb_capacity: int = 8192,
+        processing_delay_s: float = DEFAULT_PROCESSING_DELAY_S,
+    ) -> None:
+        super().__init__(sim, name)
+        self.config = RunningConfig(hostname=name)
+        self.fdb = ForwardingDatabase(capacity=fdb_capacity, aging_s=self.config.fdb_aging_s)
+        self.processing_delay_s = processing_delay_s
+        self.counters = SwitchCounters()
+        for number in range(1, num_ports + 1):
+            self.add_port(number)
+            self.config.port(number)  # default access port in VLAN 1
+
+    # ------------------------------------------------------------ ingress
+
+    def receive(self, port: Port, frame: EthernetFrame) -> None:
+        self.counters.rx_frames += 1
+        self.counters.per_port_rx[port.number] = (
+            self.counters.per_port_rx.get(port.number, 0) + 1
+        )
+        port_config = self.config.port(port.number)
+        if not port_config.enabled:
+            self.counters.filtered_ingress += 1
+            return
+
+        classified = self._classify_ingress(port.number, frame)
+        if classified is None:
+            self.counters.filtered_ingress += 1
+            return
+        vlan_id, inner = classified
+
+        # Source learning happens before the forwarding decision.
+        if inner.src.is_unicast:
+            self.fdb.learn(vlan_id, inner.src, port.number, self.sim.now)
+
+        delay = self.processing_delay_s
+        if delay > 0:
+            self.sim.schedule(delay, lambda: self._forward(port.number, vlan_id, inner))
+        else:
+            self._forward(port.number, vlan_id, inner)
+
+    def _classify_ingress(
+        self, port_number: int, frame: EthernetFrame
+    ) -> "tuple[int, EthernetFrame] | None":
+        """Map an arriving frame to (vlan, untagged-frame), or None to drop.
+
+        The returned frame always has the classification tag removed so
+        forwarding logic deals in canonical untagged frames plus a VLAN
+        id — mirroring how switch ASICs carry VLAN metadata out of band.
+        """
+        port_config = self.config.port(port_number)
+        if port_config.mode is PortMode.ACCESS:
+            if frame.vlan is not None:
+                # 802.1Q access ports drop tagged frames (no VLAN leaking).
+                return None
+            return port_config.pvid, frame
+        # Trunk port.
+        if frame.vlan is None:
+            if port_config.native_vlan is None:
+                return None
+            return port_config.native_vlan, frame
+        vlan_id = frame.vlan_id
+        if vlan_id not in port_config.allowed_vlans:
+            return None
+        return vlan_id, frame.pop_vlan()
+
+    # ----------------------------------------------------------- egress
+
+    def _forward(self, ingress_port: int, vlan_id: int, frame: EthernetFrame) -> None:
+        out_port = None
+        if frame.dst.is_unicast:
+            out_port = self.fdb.lookup(vlan_id, frame.dst, self.sim.now)
+        if out_port is not None:
+            if out_port != ingress_port:
+                self._egress(out_port, vlan_id, frame)
+            return
+        # Unknown unicast / broadcast / multicast: flood the VLAN.
+        members = self.config.ports_in_vlan(vlan_id)
+        flooded_to = [number for number in members if number != ingress_port]
+        if not flooded_to:
+            self.counters.dropped_no_ports += 1
+            return
+        self.counters.flooded += 1
+        for number in flooded_to:
+            self._egress(number, vlan_id, frame)
+
+    def _egress(self, port_number: int, vlan_id: int, frame: EthernetFrame) -> None:
+        port_config = self.config.port(port_number)
+        if not port_config.carries(vlan_id) or not port_config.enabled:
+            return
+        if port_config.mode is PortMode.ACCESS:
+            out_frame = frame  # access egress is always untagged
+        elif vlan_id == port_config.native_vlan:
+            out_frame = frame  # native VLAN leaves untagged
+        else:
+            out_frame = frame.push_vlan(vlan_id)
+        self.counters.tx_frames += 1
+        self.counters.per_port_tx[port_number] = (
+            self.counters.per_port_tx.get(port_number, 0) + 1
+        )
+        self.port(port_number).send(out_frame)
+
+    # ------------------------------------------------------- management
+
+    def apply_config(self, new_config: RunningConfig) -> list[str]:
+        """Replace the running config, flushing FDB entries of changed ports.
+
+        Returns the human-readable change list (what a real switch logs).
+        """
+        changes = self.config.diff(new_config)
+        changed_ports = [
+            number
+            for number in set(self.config.ports) | set(new_config.ports)
+            if self.config.ports.get(number) != new_config.ports.get(number)
+        ]
+        self.config = new_config
+        self.fdb.aging_s = new_config.fdb_aging_s
+        for number in changed_ports:
+            self.fdb.flush_port(number)
+        return changes
+
+    def link_down(self, port_number: int) -> None:
+        """Administratively take a port down (flushes its FDB entries)."""
+        self.port(port_number).up = False
+        self.config.port(port_number).enabled = False
+        self.fdb.flush_port(port_number)
+
+    def link_up(self, port_number: int) -> None:
+        self.port(port_number).up = True
+        self.config.port(port_number).enabled = True

@@ -1,0 +1,36 @@
+"""NAPALM-style multi-vendor management drivers.
+
+The paper's Manager "automatically manages and queries the legacy
+Ethernet switch via SNMP through NAPALM".  This package reproduces that
+layer: a vendor-neutral :class:`NetworkDriver` API with per-vendor
+personalities (interface naming and configuration syntax differ), all
+executing over the simulated SNMP agent of the target switch.
+
+Config workflow mirrors NAPALM: load a candidate (vendor-syntax text),
+``compare_config`` to preview, ``commit_config`` to apply atomically,
+``rollback`` to return to the pre-commit state.
+"""
+
+from repro.mgmt.base import (
+    ConfigSessionError,
+    DeviceConnection,
+    DriverError,
+    NetworkDriver,
+)
+from repro.mgmt.drivers import (
+    SimEOSDriver,
+    SimIOSDriver,
+    SimProCurveDriver,
+    get_network_driver,
+)
+
+__all__ = [
+    "NetworkDriver",
+    "DeviceConnection",
+    "DriverError",
+    "ConfigSessionError",
+    "SimIOSDriver",
+    "SimEOSDriver",
+    "SimProCurveDriver",
+    "get_network_driver",
+]

@@ -1,0 +1,247 @@
+"""Vendor personalities: IOS-like, EOS-like and ProCurve-like drivers.
+
+Each driver renders and parses its own configuration dialect — the
+point the paper makes about NAPALM "supporting numerous networking
+operating systems (e.g., Cisco IOS, Arista EOS)".  The dialects here
+are deliberately recognisable miniatures of the real ones.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.mgmt.base import ConfigOp, ConfigSessionError, NetworkDriver
+
+
+class _InterfaceStanzaDriver(NetworkDriver):
+    """Shared renderer/parser for IOS/EOS style interface stanzas."""
+
+    interface_prefix = "Ethernet"
+
+    def interface_name(self, port: int) -> str:
+        return f"{self.interface_prefix}{port}"
+
+    def parse_interface(self, name: str) -> int:
+        pattern = re.escape(self.interface_prefix) + r"(\d+)$"
+        match = re.match(pattern, name.strip())
+        if not match:
+            raise ConfigSessionError(
+                f"{self.vendor}: bad interface name {name!r}"
+            )
+        return int(match.group(1))
+
+    def render_config(self, ops: "list[ConfigOp]") -> str:
+        lines: list[str] = []
+        for op in sorted(ops, key=ConfigOp.key):
+            if op.kind == "vlan":
+                lines.append(f"vlan {op.vlan_id}")
+                if op.name:
+                    lines.append(f" name {op.name}")
+            elif op.kind == "no-vlan":
+                lines.append(f"no vlan {op.vlan_id}")
+            elif op.kind == "access":
+                lines.append(f"interface {self.interface_name(op.port)}")
+                lines.append(" switchport mode access")
+                lines.append(f" switchport access vlan {op.vlan_id}")
+            elif op.kind == "trunk":
+                lines.append(f"interface {self.interface_name(op.port)}")
+                lines.append(" switchport mode trunk")
+                allowed = ",".join(str(v) for v in op.allowed_vlans)
+                lines.append(f" switchport trunk allowed vlan {allowed}")
+                if op.native_vlan is not None:
+                    lines.append(
+                        f" switchport trunk native vlan {op.native_vlan}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def parse_config(self, text: str) -> "list[ConfigOp]":
+        ops: list[ConfigOp] = []
+        current_port: "int | None" = None
+        pending_trunk: "ConfigOp | None" = None
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("!"):
+                continue
+            if match := re.match(r"no vlan (\d+)$", line):
+                ops.append(ConfigOp(kind="no-vlan", vlan_id=int(match.group(1))))
+            elif match := re.match(r"vlan (\d+)$", line):
+                ops.append(ConfigOp(kind="vlan", vlan_id=int(match.group(1))))
+            elif match := re.match(r"name (\S+)$", line):
+                if not ops or ops[-1].kind != "vlan":
+                    raise ConfigSessionError(f"{self.vendor}: 'name' outside vlan: {line!r}")
+                ops[-1].name = match.group(1)
+            elif match := re.match(r"interface (\S+)$", line):
+                current_port = self.parse_interface(match.group(1))
+                pending_trunk = None
+            elif line == "switchport mode access":
+                self._require_interface(current_port, line)
+            elif line == "switchport mode trunk":
+                self._require_interface(current_port, line)
+                pending_trunk = ConfigOp(kind="trunk", port=current_port)  # type: ignore[arg-type]
+                ops.append(pending_trunk)
+            elif match := re.match(r"switchport access vlan (\d+)$", line):
+                self._require_interface(current_port, line)
+                ops.append(
+                    ConfigOp(
+                        kind="access",
+                        port=current_port,  # type: ignore[arg-type]
+                        vlan_id=int(match.group(1)),
+                    )
+                )
+            elif match := re.match(r"switchport trunk allowed vlan ([\d,]+)$", line):
+                if pending_trunk is None:
+                    raise ConfigSessionError(
+                        f"{self.vendor}: trunk vlans outside trunk mode: {line!r}"
+                    )
+                pending_trunk.allowed_vlans = tuple(
+                    int(v) for v in match.group(1).split(",")
+                )
+            elif match := re.match(r"switchport trunk native vlan (\d+)$", line):
+                if pending_trunk is None:
+                    raise ConfigSessionError(
+                        f"{self.vendor}: native vlan outside trunk mode: {line!r}"
+                    )
+                pending_trunk.native_vlan = int(match.group(1))
+            else:
+                raise ConfigSessionError(f"{self.vendor}: cannot parse {line!r}")
+        return ops
+
+    def _require_interface(self, current_port: "int | None", line: str) -> None:
+        if current_port is None:
+            raise ConfigSessionError(
+                f"{self.vendor}: switchport command outside interface: {line!r}"
+            )
+
+
+class SimIOSDriver(_InterfaceStanzaDriver):
+    """Cisco-IOS-flavoured personality (GigabitEthernet0/N naming)."""
+
+    vendor = "sim-ios"
+    interface_prefix = "GigabitEthernet0/"
+
+
+class SimEOSDriver(_InterfaceStanzaDriver):
+    """Arista-EOS-flavoured personality (EthernetN naming)."""
+
+    vendor = "sim-eos"
+    interface_prefix = "Ethernet"
+
+
+class SimProCurveDriver(NetworkDriver):
+    """HP-ProCurve-flavoured personality.
+
+    ProCurve config is VLAN-centric: ports are listed as tagged or
+    untagged members inside each ``vlan`` stanza, and interfaces are
+    bare numbers.
+    """
+
+    vendor = "sim-procurve"
+
+    def interface_name(self, port: int) -> str:
+        return str(port)
+
+    def parse_interface(self, name: str) -> int:
+        if not name.strip().isdigit():
+            raise ConfigSessionError(f"{self.vendor}: bad interface {name!r}")
+        return int(name.strip())
+
+    def render_config(self, ops: "list[ConfigOp]") -> str:
+        # Group access/trunk ops per VLAN the ProCurve way.
+        untagged: dict[int, list[int]] = {}
+        tagged: dict[int, list[int]] = {}
+        names: dict[int, str] = {}
+        removals: list[int] = []
+        for op in ops:
+            if op.kind == "vlan":
+                names.setdefault(op.vlan_id, op.name)
+            elif op.kind == "no-vlan":
+                removals.append(op.vlan_id)
+            elif op.kind == "access":
+                untagged.setdefault(op.vlan_id, []).append(op.port)
+            elif op.kind == "trunk":
+                for vlan_id in op.allowed_vlans:
+                    tagged.setdefault(vlan_id, []).append(op.port)
+                if op.native_vlan is not None:
+                    untagged.setdefault(op.native_vlan, []).append(op.port)
+        lines: list[str] = []
+        for vlan_id in sorted(set(names) | set(untagged) | set(tagged)):
+            lines.append(f"vlan {vlan_id}")
+            if names.get(vlan_id):
+                lines.append(f'   name "{names[vlan_id]}"')
+            for port in sorted(untagged.get(vlan_id, [])):
+                lines.append(f"   untagged {port}")
+            for port in sorted(tagged.get(vlan_id, [])):
+                lines.append(f"   tagged {port}")
+            lines.append("   exit")
+        for vlan_id in removals:
+            lines.append(f"no vlan {vlan_id}")
+        return "\n".join(lines) + "\n"
+
+    def parse_config(self, text: str) -> "list[ConfigOp]":
+        ops: list[ConfigOp] = []
+        trunk_vlans: dict[int, list[int]] = {}
+        current_vlan: "int | None" = None
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith(";"):
+                continue
+            if match := re.match(r"no vlan (\d+)$", line):
+                ops.append(ConfigOp(kind="no-vlan", vlan_id=int(match.group(1))))
+                current_vlan = None
+            elif match := re.match(r"vlan (\d+)$", line):
+                current_vlan = int(match.group(1))
+                ops.append(ConfigOp(kind="vlan", vlan_id=current_vlan))
+            elif match := re.match(r'name "?([^"]+)"?$', line):
+                if current_vlan is None:
+                    raise ConfigSessionError(f"{self.vendor}: name outside vlan")
+                ops[-1].name = match.group(1)
+            elif match := re.match(r"untagged ([\d,\-]+)$", line):
+                if current_vlan is None:
+                    raise ConfigSessionError(f"{self.vendor}: untagged outside vlan")
+                for port in _expand_port_range(match.group(1)):
+                    ops.append(
+                        ConfigOp(kind="access", vlan_id=current_vlan, port=port)
+                    )
+            elif match := re.match(r"tagged ([\d,\-]+)$", line):
+                if current_vlan is None:
+                    raise ConfigSessionError(f"{self.vendor}: tagged outside vlan")
+                for port in _expand_port_range(match.group(1)):
+                    trunk_vlans.setdefault(port, []).append(current_vlan)
+            elif line == "exit":
+                current_vlan = None
+            else:
+                raise ConfigSessionError(f"{self.vendor}: cannot parse {line!r}")
+        for port, vlans in sorted(trunk_vlans.items()):
+            ops.append(
+                ConfigOp(kind="trunk", port=port, allowed_vlans=tuple(sorted(vlans)))
+            )
+        return ops
+
+
+def _expand_port_range(spec: str) -> list[int]:
+    """Expand ProCurve port lists like ``1,3,5-7`` into [1, 3, 5, 6, 7]."""
+    ports: list[int] = []
+    for chunk in spec.split(","):
+        if "-" in chunk:
+            low, high = chunk.split("-", 1)
+            ports.extend(range(int(low), int(high) + 1))
+        else:
+            ports.append(int(chunk))
+    return ports
+
+
+_DRIVERS = {
+    "sim-ios": SimIOSDriver,
+    "sim-eos": SimEOSDriver,
+    "sim-procurve": SimProCurveDriver,
+}
+
+
+def get_network_driver(vendor: str) -> type[NetworkDriver]:
+    """Look up a driver class by vendor string (NAPALM's entry point)."""
+    try:
+        return _DRIVERS[vendor]
+    except KeyError:
+        raise ValueError(
+            f"unknown vendor {vendor!r}; available: {sorted(_DRIVERS)}"
+        ) from None

@@ -1,0 +1,14 @@
+"""Exceptions raised by the packet model."""
+
+
+class PacketDecodeError(ValueError):
+    """Raised when a byte buffer cannot be parsed as the expected header.
+
+    Carries enough context (protocol name and reason) for the simulator's
+    capture tooling to report malformed frames precisely.
+    """
+
+    def __init__(self, protocol: str, reason: str) -> None:
+        self.protocol = protocol
+        self.reason = reason
+        super().__init__(f"{protocol}: {reason}")

@@ -1,0 +1,179 @@
+"""Ethernet II frames and 802.1Q VLAN tags.
+
+The 802.1Q behaviour here is the foundation of HARMLESS: the legacy
+switch pushes a per-access-port tag, the translator (SS_1) pops it, and
+the reverse path pushes the destination port's tag.  Tags are modelled
+as an explicit stack so QinQ (802.1ad S-tag over C-tag) also works,
+which the scalability benchmarks use when several legacy switches share
+one trunk.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.net.addresses import MACAddress
+from repro.net.errors import PacketDecodeError
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_DOT1Q = 0x8100
+ETHERTYPE_DOT1AD = 0x88A8
+ETHERTYPE_LLDP = 0x88CC
+
+#: Minimum Ethernet payload (frames shorter than this get padded on the wire).
+MIN_PAYLOAD = 46
+#: Conventional Ethernet MTU used by default links.
+DEFAULT_MTU = 1500
+
+_TAG_STRUCT = struct.Struct("!HH")
+
+
+@dataclass(frozen=True)
+class Dot1QTag:
+    """One 802.1Q (or 802.1ad) tag: TPID implied by stack position.
+
+    Attributes:
+        vlan_id: 12-bit VLAN identifier (0 = priority tag, 4095 reserved).
+        pcp: 3-bit priority code point.
+        dei: drop-eligible indicator bit.
+    """
+
+    vlan_id: int
+    pcp: int = 0
+    dei: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vlan_id <= 4095:
+            raise ValueError(f"VLAN id out of range: {self.vlan_id}")
+        if not 0 <= self.pcp <= 7:
+            raise ValueError(f"PCP out of range: {self.pcp}")
+
+    @property
+    def tci(self) -> int:
+        """The 16-bit tag control information field."""
+        return (self.pcp << 13) | (int(self.dei) << 12) | self.vlan_id
+
+    @classmethod
+    def from_tci(cls, tci: int) -> "Dot1QTag":
+        return cls(vlan_id=tci & 0x0FFF, pcp=tci >> 13 & 0x7, dei=bool(tci >> 12 & 0x1))
+
+    def __str__(self) -> str:
+        return f"vlan {self.vlan_id} pcp {self.pcp}"
+
+
+@dataclass
+class EthernetFrame:
+    """An Ethernet II frame with an explicit VLAN tag stack.
+
+    ``tags[0]`` is the outermost tag.  ``ethertype`` is the *inner*
+    ethertype (the payload's protocol), independent of tagging, which is
+    how OpenFlow's OXM model exposes it too.
+    """
+
+    dst: MACAddress
+    src: MACAddress
+    ethertype: int
+    payload: bytes = b""
+    tags: list[Dot1QTag] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.dst = MACAddress(self.dst)
+        self.src = MACAddress(self.src)
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise ValueError(f"ethertype out of range: {self.ethertype:#x}")
+        if not isinstance(self.payload, (bytes, bytearray)):
+            raise TypeError("payload must be bytes")
+        self.payload = bytes(self.payload)
+
+    # -- VLAN tag manipulation (semantics match OpenFlow push/pop actions) --
+
+    @property
+    def vlan(self) -> Optional[Dot1QTag]:
+        """The outermost VLAN tag, or None if untagged."""
+        return self.tags[0] if self.tags else None
+
+    @property
+    def vlan_id(self) -> Optional[int]:
+        """The outermost VLAN id, or None if untagged."""
+        return self.tags[0].vlan_id if self.tags else None
+
+    def push_vlan(self, vlan_id: int, pcp: int = 0) -> "EthernetFrame":
+        """Return a copy with a new outermost tag (OpenFlow PUSH_VLAN + SET_FIELD)."""
+        tag = Dot1QTag(vlan_id=vlan_id, pcp=pcp)
+        return replace(
+            self,
+            tags=[tag, *self.tags],
+            payload=self.payload,
+        )
+
+    def pop_vlan(self) -> "EthernetFrame":
+        """Return a copy with the outermost tag removed (OpenFlow POP_VLAN)."""
+        if not self.tags:
+            raise ValueError("cannot pop VLAN tag from untagged frame")
+        return replace(self, tags=list(self.tags[1:]), payload=self.payload)
+
+    def set_vlan(self, vlan_id: int) -> "EthernetFrame":
+        """Return a copy with the outermost tag's VLAN id rewritten."""
+        if not self.tags:
+            raise ValueError("cannot set VLAN id on untagged frame")
+        head = replace(self.tags[0], vlan_id=vlan_id)
+        return replace(self, tags=[head, *self.tags[1:]], payload=self.payload)
+
+    def copy(self) -> "EthernetFrame":
+        return replace(self, tags=list(self.tags), payload=self.payload)
+
+    # -- wire format --
+
+    def to_bytes(self) -> bytes:
+        """Serialise, using 0x88a8 for the outer TPID of doubly-tagged frames."""
+        buffer = bytearray()
+        buffer += self.dst.packed
+        buffer += self.src.packed
+        for index, tag in enumerate(self.tags):
+            outermost_of_stack = index == 0 and len(self.tags) > 1
+            tpid = ETHERTYPE_DOT1AD if outermost_of_stack else ETHERTYPE_DOT1Q
+            buffer += _TAG_STRUCT.pack(tpid, tag.tci)
+        buffer += self.ethertype.to_bytes(2, "big")
+        buffer += self.payload
+        return bytes(buffer)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EthernetFrame":
+        if len(data) < 14:
+            raise PacketDecodeError("ethernet", f"frame too short: {len(data)} bytes")
+        dst = MACAddress(data[0:6])
+        src = MACAddress(data[6:12])
+        offset = 12
+        tags: list[Dot1QTag] = []
+        while True:
+            if len(data) < offset + 2:
+                raise PacketDecodeError("ethernet", "truncated ethertype")
+            ethertype = int.from_bytes(data[offset : offset + 2], "big")
+            if ethertype in (ETHERTYPE_DOT1Q, ETHERTYPE_DOT1AD):
+                if len(data) < offset + 4:
+                    raise PacketDecodeError("ethernet", "truncated 802.1Q tag")
+                tci = int.from_bytes(data[offset + 2 : offset + 4], "big")
+                tags.append(Dot1QTag.from_tci(tci))
+                offset += 4
+            else:
+                offset += 2
+                break
+        return cls(
+            dst=dst, src=src, ethertype=ethertype, payload=data[offset:], tags=tags
+        )
+
+    @property
+    def wire_length(self) -> int:
+        """Length on the wire in bytes (without preamble/FCS, with padding)."""
+        raw = 14 + 4 * len(self.tags) + len(self.payload)
+        return max(raw, 14 + 4 * len(self.tags) + MIN_PAYLOAD)
+
+    def __str__(self) -> str:
+        tag_text = "".join(f" [{tag}]" for tag in self.tags)
+        return (
+            f"{self.src} > {self.dst}{tag_text} type {self.ethertype:#06x} "
+            f"len {len(self.payload)}"
+        )

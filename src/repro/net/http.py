@@ -1,0 +1,112 @@
+"""Toy HTTP/1.1 request/response framing.
+
+The load-balancer and parental-control demos move web traffic; the
+hosts in the simulator exchange these small, well-formed HTTP messages
+over the TCP segments so policies that inspect the Host header (the PC
+use case's "certain web pages") have real bytes to look at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.errors import PacketDecodeError
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP/1.1 request line + headers + optional body."""
+
+    method: str = "GET"
+    path: str = "/"
+    host: str = ""
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        lines = [f"{self.method} {self.path} HTTP/1.1"]
+        all_headers = dict(self.headers)
+        if self.host and "Host" not in all_headers:
+            all_headers = {"Host": self.host, **all_headers}
+        if self.body and "Content-Length" not in all_headers:
+            all_headers["Content-Length"] = str(len(self.body))
+        lines.extend(f"{name}: {value}" for name, value in all_headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        return head + self.body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HttpRequest":
+        try:
+            head, _, body = data.partition(b"\r\n\r\n")
+            text = head.decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise PacketDecodeError("http", f"non-ascii header: {exc}") from exc
+        lines = text.split("\r\n")
+        if not lines or len(lines[0].split(" ")) != 3:
+            raise PacketDecodeError("http", f"bad request line: {lines[:1]}")
+        method, path, version = lines[0].split(" ")
+        if not version.startswith("HTTP/"):
+            raise PacketDecodeError("http", f"bad version: {version}")
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise PacketDecodeError("http", f"bad header line: {line!r}")
+            headers[name.strip()] = value.strip()
+        return cls(
+            method=method,
+            path=path,
+            host=headers.get("Host", ""),
+            headers=headers,
+            body=body,
+        )
+
+    def __str__(self) -> str:
+        return f"HTTP {self.method} {self.host}{self.path}"
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP/1.1 status line + headers + body."""
+
+    status: int = 200
+    reason: str = "OK"
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        all_headers = dict(self.headers)
+        if "Content-Length" not in all_headers:
+            all_headers["Content-Length"] = str(len(self.body))
+        lines = [f"HTTP/1.1 {self.status} {self.reason}"]
+        lines.extend(f"{name}: {value}" for name, value in all_headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        return head + self.body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HttpResponse":
+        try:
+            head, _, body = data.partition(b"\r\n\r\n")
+            text = head.decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise PacketDecodeError("http", f"non-ascii header: {exc}") from exc
+        lines = text.split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise PacketDecodeError("http", f"bad status line: {lines[:1]}")
+        status = int(parts[1])
+        reason = parts[2] if len(parts) == 3 else ""
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise PacketDecodeError("http", f"bad header line: {line!r}")
+            headers[name.strip()] = value.strip()
+        return cls(status=status, reason=reason, headers=headers, body=body)
+
+    def __str__(self) -> str:
+        return f"HTTP {self.status} {self.reason} len {len(self.body)}"

@@ -1,0 +1,90 @@
+"""ICMP echo (ping) — the latency benchmarks measure with these."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.checksum import internet_checksum
+from repro.net.errors import PacketDecodeError
+
+ICMP_TYPE_ECHO_REPLY = 0
+ICMP_TYPE_ECHO_REQUEST = 8
+ICMP_TYPE_DEST_UNREACHABLE = 3
+ICMP_TYPE_TIME_EXCEEDED = 11
+
+_HEADER = struct.Struct("!BBHHH")
+
+
+@dataclass
+class IcmpPacket:
+    """An ICMP message; echo request/reply carry identifier + sequence."""
+
+    icmp_type: int
+    code: int = 0
+    identifier: int = 0
+    sequence: int = 0
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.icmp_type <= 255:
+            raise ValueError(f"ICMP type out of range: {self.icmp_type}")
+        if not 0 <= self.code <= 255:
+            raise ValueError(f"ICMP code out of range: {self.code}")
+        self.payload = bytes(self.payload)
+
+    @classmethod
+    def echo_request(
+        cls, identifier: int, sequence: int, payload: bytes = b""
+    ) -> "IcmpPacket":
+        return cls(
+            icmp_type=ICMP_TYPE_ECHO_REQUEST,
+            identifier=identifier,
+            sequence=sequence,
+            payload=payload,
+        )
+
+    def make_reply(self) -> "IcmpPacket":
+        if self.icmp_type != ICMP_TYPE_ECHO_REQUEST:
+            raise ValueError("can only reply to an echo request")
+        return IcmpPacket(
+            icmp_type=ICMP_TYPE_ECHO_REPLY,
+            identifier=self.identifier,
+            sequence=self.sequence,
+            payload=self.payload,
+        )
+
+    def to_bytes(self) -> bytes:
+        unchecksummed = _HEADER.pack(
+            self.icmp_type, self.code, 0, self.identifier, self.sequence
+        )
+        checksum = internet_checksum(unchecksummed + self.payload)
+        return (
+            _HEADER.pack(self.icmp_type, self.code, checksum, self.identifier, self.sequence)
+            + self.payload
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IcmpPacket":
+        if len(data) < 8:
+            raise PacketDecodeError("icmp", f"message too short: {len(data)} bytes")
+        icmp_type, code, checksum, identifier, sequence = _HEADER.unpack_from(data)
+        if internet_checksum(data) != 0:
+            raise PacketDecodeError("icmp", "checksum mismatch")
+        return cls(
+            icmp_type=icmp_type,
+            code=code,
+            identifier=identifier,
+            sequence=sequence,
+            payload=data[8:],
+        )
+
+    def __str__(self) -> str:
+        names = {
+            ICMP_TYPE_ECHO_REPLY: "echo-reply",
+            ICMP_TYPE_ECHO_REQUEST: "echo-request",
+            ICMP_TYPE_DEST_UNREACHABLE: "dest-unreachable",
+            ICMP_TYPE_TIME_EXCEEDED: "time-exceeded",
+        }
+        name = names.get(self.icmp_type, f"type-{self.icmp_type}")
+        return f"ICMP {name} id {self.identifier} seq {self.sequence}"

@@ -1,0 +1,69 @@
+"""UDP datagrams (RFC 768) with pseudo-header checksums."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.addresses import IPv4Address
+from repro.net.checksum import pseudo_header_checksum
+from repro.net.errors import PacketDecodeError
+from repro.net.ipv4 import IPPROTO_UDP
+
+_HEADER = struct.Struct("!HHHH")
+
+
+@dataclass
+class UdpDatagram:
+    """A UDP datagram; checksum requires src/dst IPs (pseudo header)."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        for name, port in (("src_port", self.src_port), ("dst_port", self.dst_port)):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"{name} out of range: {port}")
+        self.payload = bytes(self.payload)
+
+    @property
+    def length(self) -> int:
+        return 8 + len(self.payload)
+
+    def to_bytes(self, src_ip: IPv4Address, dst_ip: IPv4Address) -> bytes:
+        unchecksummed = (
+            _HEADER.pack(self.src_port, self.dst_port, self.length, 0) + self.payload
+        )
+        checksum = pseudo_header_checksum(
+            src_ip.packed, dst_ip.packed, IPPROTO_UDP, unchecksummed
+        )
+        if checksum == 0:
+            checksum = 0xFFFF  # RFC 768: transmitted zero means "no checksum"
+        return (
+            _HEADER.pack(self.src_port, self.dst_port, self.length, checksum)
+            + self.payload
+        )
+
+    @classmethod
+    def from_bytes(
+        cls,
+        data: bytes,
+        src_ip: "IPv4Address | None" = None,
+        dst_ip: "IPv4Address | None" = None,
+    ) -> "UdpDatagram":
+        if len(data) < 8:
+            raise PacketDecodeError("udp", f"datagram too short: {len(data)} bytes")
+        src_port, dst_port, length, checksum = _HEADER.unpack_from(data)
+        if length < 8 or length > len(data):
+            raise PacketDecodeError("udp", f"bad length field {length}")
+        if checksum and src_ip is not None and dst_ip is not None:
+            computed = pseudo_header_checksum(
+                src_ip.packed, dst_ip.packed, IPPROTO_UDP, data[:length]
+            )
+            if computed not in (0, 0xFFFF):
+                raise PacketDecodeError("udp", "checksum mismatch")
+        return cls(src_port=src_port, dst_port=dst_port, payload=data[8:length])
+
+    def __str__(self) -> str:
+        return f"UDP {self.src_port} > {self.dst_port} len {len(self.payload)}"

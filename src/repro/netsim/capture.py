@@ -1,0 +1,88 @@
+"""Packet capture taps — the simulator's tcpdump."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.net.ethernet import EthernetFrame
+from repro.netsim.node import Port
+
+
+@dataclass
+class CaptureEntry:
+    """One captured frame with its metadata."""
+
+    time: float
+    port_name: str
+    direction: str  # "tx" or "rx"
+    frame: EthernetFrame
+
+    def __str__(self) -> str:
+        return f"{self.time * 1e6:10.3f}us {self.port_name} {self.direction} {self.frame}"
+
+
+class Capture:
+    """Records frames crossing the ports it is attached to.
+
+    Used by tests to assert on exact frame sequences and by the FIG1
+    benchmark to print the hop-by-hop trace of the paper's worked
+    example.
+    """
+
+    def __init__(
+        self,
+        name: str = "capture",
+        filter_fn: "Optional[Callable[[EthernetFrame], bool]]" = None,
+        max_entries: int = 100_000,
+    ) -> None:
+        self.name = name
+        self.filter_fn = filter_fn
+        self.max_entries = max_entries
+        self.entries: list[CaptureEntry] = []
+        self.dropped = 0
+
+    def attach(self, *ports: Port) -> "Capture":
+        """Attach this capture to one or more ports; returns self."""
+        for port in ports:
+            port.attach_capture(self)
+        return self
+
+    def record(self, port: Port, direction: str, frame: EthernetFrame) -> None:
+        if self.filter_fn is not None and not self.filter_fn(frame):
+            return
+        if len(self.entries) >= self.max_entries:
+            self.dropped += 1
+            return
+        self.entries.append(
+            CaptureEntry(
+                time=port.node.sim.now,
+                port_name=port.name,
+                direction=direction,
+                frame=frame,
+            )
+        )
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[CaptureEntry]:
+        return iter(self.entries)
+
+    def frames(self, direction: "str | None" = None) -> list[EthernetFrame]:
+        """All captured frames, optionally restricted to tx or rx."""
+        return [
+            entry.frame
+            for entry in self.entries
+            if direction is None or entry.direction == direction
+        ]
+
+    def format_trace(self) -> str:
+        """Human-readable multi-line trace (used by the FIG1 bench)."""
+        lines = [f"-- capture {self.name}: {len(self.entries)} frames --"]
+        lines.extend(str(entry) for entry in self.entries)
+        return "\n".join(lines)

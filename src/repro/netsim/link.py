@@ -1,0 +1,147 @@
+"""Full-duplex point-to-point links with realistic timing.
+
+Each direction models: a finite drop-tail transmit queue, store-and-
+forward serialisation at the configured bandwidth, then propagation
+delay.  These are the terms that appear in the paper's latency story —
+HARMLESS adds one extra trunk-link traversal, so getting link timing
+right is what makes the latency benchmark meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.ethernet import EthernetFrame
+from repro.netsim.node import Port
+
+#: 1 Gbit/s, the typical access speed of the legacy switches HARMLESS targets.
+DEFAULT_BANDWIDTH_BPS = 1_000_000_000
+#: A couple of metres of copper.
+DEFAULT_PROP_DELAY_S = 1e-6
+#: Frames queued per direction before tail drop.
+DEFAULT_QUEUE_FRAMES = 128
+
+
+@dataclass
+class LinkStats:
+    """Per-direction transmission statistics."""
+
+    frames: int = 0
+    bytes: int = 0
+    drops: int = 0
+    busy_time: float = 0.0
+
+
+class _Direction:
+    """State for one direction of the link (a -> b or b -> a)."""
+
+    def __init__(self) -> None:
+        self.busy_until = 0.0
+        self.queued = 0
+        self.stats = LinkStats()
+
+
+class Link:
+    """A full-duplex link between two ports.
+
+    ``bandwidth_bps=None`` gives an ideal link (zero serialisation
+    time), used for the patch-port fabric inside the HARMLESS server
+    where "links" are memory copies.
+    """
+
+    def __init__(
+        self,
+        port_a: Port,
+        port_b: Port,
+        bandwidth_bps: "float | None" = DEFAULT_BANDWIDTH_BPS,
+        propagation_delay_s: float = DEFAULT_PROP_DELAY_S,
+        queue_frames: int = DEFAULT_QUEUE_FRAMES,
+        name: "str | None" = None,
+    ) -> None:
+        if port_a.link is not None or port_b.link is not None:
+            raise ValueError("port already wired to a link")
+        if port_a is port_b:
+            raise ValueError("cannot wire a port to itself")
+        self.port_a = port_a
+        self.port_b = port_b
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay_s = propagation_delay_s
+        self.queue_frames = queue_frames
+        self.name = name or f"{port_a.name}<->{port_b.name}"
+        self._directions = {id(port_a): _Direction(), id(port_b): _Direction()}
+        self.sim = port_a.node.sim
+        if port_b.node.sim is not self.sim:
+            raise ValueError("ports belong to different simulators")
+        port_a.link = self
+        port_b.link = self
+
+    def other_end(self, port: Port) -> Port:
+        if port is self.port_a:
+            return self.port_b
+        if port is self.port_b:
+            return self.port_a
+        raise ValueError(f"{port!r} is not an end of {self.name}")
+
+    def stats(self, from_port: Port) -> LinkStats:
+        """Stats for the direction whose transmitter is *from_port*."""
+        return self._directions[id(from_port)].stats
+
+    def serialization_delay(self, frame: EthernetFrame) -> float:
+        """Time to clock *frame* onto the wire at this link's bandwidth."""
+        if self.bandwidth_bps is None:
+            return 0.0
+        return frame.wire_length * 8 / self.bandwidth_bps
+
+    def transmit(self, from_port: Port, frame: EthernetFrame) -> bool:
+        """Queue *frame* for the far end; returns False on tail drop."""
+        direction = self._directions[id(from_port)]
+        destination = self.other_end(from_port)
+        now = self.sim.now
+
+        if direction.queued >= self.queue_frames:
+            direction.stats.drops += 1
+            return False
+
+        serialization = self.serialization_delay(frame)
+        start = max(now, direction.busy_until)
+        finish = start + serialization
+        direction.busy_until = finish
+        direction.queued += 1
+        direction.stats.frames += 1
+        direction.stats.bytes += frame.wire_length
+        direction.stats.busy_time += serialization
+
+        arrival = finish + self.propagation_delay_s
+
+        def deliver() -> None:
+            direction.queued -= 1
+            destination.deliver(frame)
+
+        self.sim.schedule_at(arrival, deliver)
+        return True
+
+    def utilization(self, from_port: Port, elapsed: float) -> float:
+        """Fraction of *elapsed* the direction spent serialising frames."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.stats(from_port).busy_time / elapsed)
+
+    def __repr__(self) -> str:
+        return f"Link({self.name})"
+
+
+def wire(
+    node_a,
+    node_b,
+    bandwidth_bps: "float | None" = DEFAULT_BANDWIDTH_BPS,
+    propagation_delay_s: float = DEFAULT_PROP_DELAY_S,
+    queue_frames: int = DEFAULT_QUEUE_FRAMES,
+) -> Link:
+    """Convenience: add a fresh port on each node and link them."""
+    return Link(
+        node_a.add_port(),
+        node_b.add_port(),
+        bandwidth_bps=bandwidth_bps,
+        propagation_delay_s=propagation_delay_s,
+        queue_frames=queue_frames,
+    )

@@ -1,0 +1,112 @@
+"""Nodes and ports — the attachment points of the simulated network."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.net.ethernet import EthernetFrame
+
+if TYPE_CHECKING:
+    from repro.netsim.capture import Capture
+    from repro.netsim.link import Link
+    from repro.netsim.simulator import Simulator
+
+
+class Port:
+    """One network interface of a :class:`Node`.
+
+    Ports are identified by a small integer unique within their node
+    (matching how switch ports and OpenFlow port numbers work).  A port
+    may be wired to a :class:`Link` or left dangling (frames sent out a
+    dangling port are counted and dropped).
+    """
+
+    def __init__(self, node: "Node", number: int, name: "str | None" = None) -> None:
+        self.node = node
+        self.number = number
+        self.name = name or f"{node.name}:{number}"
+        self.link: Optional["Link"] = None
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.rx_frames = 0
+        self.rx_bytes = 0
+        self.tx_dropped = 0
+        self.captures: list["Capture"] = []
+        #: Set False to emulate link-down (frames silently dropped).
+        self.up = True
+
+    @property
+    def is_wired(self) -> bool:
+        return self.link is not None
+
+    @property
+    def peer(self) -> Optional["Port"]:
+        """The port at the far end of the attached link, if any."""
+        if self.link is None:
+            return None
+        return self.link.other_end(self)
+
+    def send(self, frame: EthernetFrame) -> bool:
+        """Transmit *frame* out this port.  Returns False if dropped."""
+        for capture in self.captures:
+            capture.record(self, "tx", frame)
+        if not self.up or self.link is None:
+            self.tx_dropped += 1
+            return False
+        self.tx_frames += 1
+        self.tx_bytes += frame.wire_length
+        return self.link.transmit(self, frame)
+
+    def deliver(self, frame: EthernetFrame) -> None:
+        """Called by the link when a frame arrives at this port."""
+        for capture in self.captures:
+            capture.record(self, "rx", frame)
+        if not self.up:
+            return
+        self.rx_frames += 1
+        self.rx_bytes += frame.wire_length
+        self.node.receive(self, frame)
+
+    def attach_capture(self, capture: "Capture") -> None:
+        self.captures.append(capture)
+
+    def __repr__(self) -> str:
+        return f"Port({self.name})"
+
+
+class Node:
+    """Base class for anything with ports: hosts, switches, servers."""
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.ports: dict[int, Port] = {}
+
+    def add_port(self, number: "int | None" = None, name: "str | None" = None) -> Port:
+        """Create a new port; numbers auto-increment from 1 if omitted."""
+        if number is None:
+            number = max(self.ports, default=0) + 1
+        if number in self.ports:
+            raise ValueError(f"{self.name}: port {number} already exists")
+        port = Port(self, number, name=name)
+        self.ports[number] = port
+        return port
+
+    def port(self, number: int) -> Port:
+        """Look up a port by number, raising KeyError with context."""
+        try:
+            return self.ports[number]
+        except KeyError:
+            raise KeyError(f"{self.name} has no port {number}") from None
+
+    def iter_ports(self) -> Iterator[Port]:
+        """Ports in ascending port-number order."""
+        for number in sorted(self.ports):
+            yield self.ports[number]
+
+    def receive(self, port: Port, frame: EthernetFrame) -> None:
+        """Handle a frame arriving on *port*; subclasses override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"

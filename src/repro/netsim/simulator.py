@@ -1,0 +1,110 @@
+"""The event loop: a priority queue of timestamped callbacks."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordering is (time, seq) so ties are FIFO."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; the loop skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A discrete-event simulator with a float-seconds clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(0.5, lambda: host.ping(target))
+        sim.run(until=2.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* to run *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* at absolute simulated *time*."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time}, already at {self._now}"
+            )
+        event = Event(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(
+        self, until: "float | None" = None, max_events: "int | None" = None
+    ) -> int:
+        """Process events until the queue drains, *until* is reached, or
+        *max_events* have run.  Returns the number of events processed.
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running (re-entrant run())")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                if max_events is not None and processed >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.callback()
+                processed += 1
+                self._events_processed += 1
+            if until is not None and self._now < until:
+                # Advance the clock to the horizon even if the queue drained.
+                self._now = until
+        finally:
+            self._running = False
+        return processed
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain (bounded to catch runaway loops)."""
+        processed = self.run(max_events=max_events)
+        if self.pending_events:
+            raise RuntimeError(
+                f"simulation did not go idle within {max_events} events"
+            )
+        return processed

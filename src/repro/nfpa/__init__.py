@@ -1,0 +1,26 @@
+"""NFPA-style measurement harness.
+
+Named after the authors' Network Function Performance Analyzer [Csikor
+et al., NFV-SDN 2015]: build a device-under-test topology, blast a
+reproducible workload through it, and report throughput and latency
+per configuration.  Here the DUT is simulated, so "throughput" comes
+from the calibrated cost model and the simulated clock — absolute
+numbers are model outputs, but ratios between configurations (HARMLESS
+vs native software switch vs legacy) are meaningful.
+"""
+
+from repro.nfpa.harness import (
+    LatencyStats,
+    MeasurementResult,
+    make_sink,
+    measure_forwarding,
+    measure_pipeline_rate,
+)
+
+__all__ = [
+    "MeasurementResult",
+    "LatencyStats",
+    "make_sink",
+    "measure_forwarding",
+    "measure_pipeline_rate",
+]

@@ -1,0 +1,105 @@
+"""OpenFlow 1.3 subset with real wire-format serialisation.
+
+Covers what HARMLESS and its use cases need: OXM matches (with masks
+and the OFPVID_PRESENT VLAN semantics), apply/write/goto instructions,
+output/push-pop-VLAN/set-field/group actions, flow mods, select groups
+(used by the load balancer), packet-in/out, stats and the handshake
+messages.  Messages serialise to spec-layout OpenFlow 1.3 bytes and
+parse back, so captures of the controller channel look like the real
+protocol.
+"""
+
+from repro.openflow.actions import (
+    Action,
+    GroupAction,
+    OutputAction,
+    PopVlanAction,
+    PushVlanAction,
+    SetFieldAction,
+)
+from repro.openflow.consts import (
+    OFP_VERSION,
+    OFPP_ALL,
+    OFPP_CONTROLLER,
+    OFPP_FLOOD,
+    OFPP_IN_PORT,
+    OFPVID_PRESENT,
+)
+from repro.openflow.instructions import (
+    ApplyActions,
+    ClearActions,
+    GotoTable,
+    Instruction,
+    WriteActions,
+)
+from repro.openflow.match import Match, MatchField
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    Bucket,
+    EchoReply,
+    EchoRequest,
+    ErrorMsg,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowRemoved,
+    FlowStatsEntry,
+    FlowStatsReply,
+    FlowStatsRequest,
+    GroupMod,
+    Hello,
+    OpenFlowMessage,
+    PacketIn,
+    PacketOut,
+    PortStatsEntry,
+    PortStatsReply,
+    PortStatsRequest,
+    parse_message,
+)
+from repro.openflow.packetview import PacketView
+
+__all__ = [
+    "OFP_VERSION",
+    "OFPP_CONTROLLER",
+    "OFPP_FLOOD",
+    "OFPP_ALL",
+    "OFPP_IN_PORT",
+    "OFPVID_PRESENT",
+    "Match",
+    "MatchField",
+    "PacketView",
+    "Action",
+    "OutputAction",
+    "GroupAction",
+    "PushVlanAction",
+    "PopVlanAction",
+    "SetFieldAction",
+    "Instruction",
+    "ApplyActions",
+    "WriteActions",
+    "ClearActions",
+    "GotoTable",
+    "OpenFlowMessage",
+    "Hello",
+    "EchoRequest",
+    "EchoReply",
+    "FeaturesRequest",
+    "FeaturesReply",
+    "FlowMod",
+    "FlowRemoved",
+    "PacketIn",
+    "PacketOut",
+    "GroupMod",
+    "Bucket",
+    "BarrierRequest",
+    "BarrierReply",
+    "ErrorMsg",
+    "FlowStatsRequest",
+    "FlowStatsReply",
+    "FlowStatsEntry",
+    "PortStatsRequest",
+    "PortStatsReply",
+    "PortStatsEntry",
+    "parse_message",
+]

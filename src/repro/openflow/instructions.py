@@ -1,0 +1,124 @@
+"""OpenFlow 1.3 instructions (the per-table verbs of a flow entry)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.openflow.actions import Action
+
+OFPIT_GOTO_TABLE = 1
+OFPIT_WRITE_ACTIONS = 3
+OFPIT_APPLY_ACTIONS = 4
+OFPIT_CLEAR_ACTIONS = 5
+
+
+class Instruction:
+    """Base class for flow-entry instructions."""
+
+    type_code: int = -1
+
+    def to_bytes(self) -> bytes:
+        raise NotImplementedError
+
+    @staticmethod
+    def parse_list(data: bytes, offset: int, end: int) -> "list[Instruction]":
+        instructions: list[Instruction] = []
+        cursor = offset
+        while cursor < end:
+            instruction_type, length = struct.unpack_from("!HH", data, cursor)
+            body = data[cursor : cursor + length]
+            if instruction_type == OFPIT_GOTO_TABLE:
+                instructions.append(GotoTable.from_bytes(body))
+            elif instruction_type == OFPIT_APPLY_ACTIONS:
+                actions = Action.parse_list(body, 8, length)
+                instructions.append(ApplyActions(actions=actions))
+            elif instruction_type == OFPIT_WRITE_ACTIONS:
+                actions = Action.parse_list(body, 8, length)
+                instructions.append(WriteActions(actions=actions))
+            elif instruction_type == OFPIT_CLEAR_ACTIONS:
+                instructions.append(ClearActions())
+            else:
+                raise ValueError(f"unsupported instruction type {instruction_type}")
+            cursor += length
+        return instructions
+
+    @staticmethod
+    def serialize_list(instructions: "list[Instruction]") -> bytes:
+        return b"".join(instruction.to_bytes() for instruction in instructions)
+
+
+@dataclass(frozen=True)
+class GotoTable(Instruction):
+    """Continue matching in a later table."""
+
+    table_id: int
+
+    type_code = OFPIT_GOTO_TABLE
+
+    def to_bytes(self) -> bytes:
+        return struct.pack("!HHB3x", OFPIT_GOTO_TABLE, 8, self.table_id)
+
+    @classmethod
+    def from_bytes(cls, body: bytes) -> "GotoTable":
+        _, _, table_id = struct.unpack_from("!HHB", body)
+        return cls(table_id=table_id)
+
+    def __str__(self) -> str:
+        return f"goto_table:{self.table_id}"
+
+
+def _actions_instruction_bytes(type_code: int, actions: "list[Action]") -> bytes:
+    body = Action.serialize_list(actions)
+    return struct.pack("!HH4x", type_code, 8 + len(body)) + body
+
+
+@dataclass(frozen=True)
+class ApplyActions(Instruction):
+    """Execute actions immediately, in order."""
+
+    actions: tuple[Action, ...] = field(default_factory=tuple)
+
+    type_code = OFPIT_APPLY_ACTIONS
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actions", tuple(self.actions))
+
+    def to_bytes(self) -> bytes:
+        return _actions_instruction_bytes(OFPIT_APPLY_ACTIONS, list(self.actions))
+
+    def __str__(self) -> str:
+        inner = ",".join(str(action) for action in self.actions)
+        return f"apply({inner})"
+
+
+@dataclass(frozen=True)
+class WriteActions(Instruction):
+    """Merge actions into the packet's action set (executed at egress)."""
+
+    actions: tuple[Action, ...] = field(default_factory=tuple)
+
+    type_code = OFPIT_WRITE_ACTIONS
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "actions", tuple(self.actions))
+
+    def to_bytes(self) -> bytes:
+        return _actions_instruction_bytes(OFPIT_WRITE_ACTIONS, list(self.actions))
+
+    def __str__(self) -> str:
+        inner = ",".join(str(action) for action in self.actions)
+        return f"write({inner})"
+
+
+@dataclass(frozen=True)
+class ClearActions(Instruction):
+    """Empty the packet's action set."""
+
+    type_code = OFPIT_CLEAR_ACTIONS
+
+    def to_bytes(self) -> bytes:
+        return struct.pack("!HH4x", OFPIT_CLEAR_ACTIONS, 8)
+
+    def __str__(self) -> str:
+        return "clear_actions"

@@ -1,0 +1,620 @@
+"""OpenFlow 1.3 messages with spec-layout serialisation.
+
+Every message renders an 8-byte ofp_header (version 0x04) followed by
+the spec body layout for the supported subset.  ``parse_message``
+re-materialises messages from bytes; round-trip identity is enforced by
+property tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field as dc_field
+from typing import ClassVar, Optional
+
+from repro.openflow import consts as c
+from repro.openflow.actions import Action
+from repro.openflow.instructions import Instruction
+from repro.openflow.match import Match
+
+_HEADER = struct.Struct("!BBHI")
+
+
+@dataclass
+class OpenFlowMessage:
+    """Base message: carries the transaction id (xid)."""
+
+    xid: int = 0
+
+    msg_type: ClassVar[int] = -1
+
+    def body_bytes(self) -> bytes:
+        return b""
+
+    def to_bytes(self) -> bytes:
+        body = self.body_bytes()
+        return _HEADER.pack(c.OFP_VERSION, self.msg_type, 8 + len(body), self.xid) + body
+
+    @classmethod
+    def from_body(cls, xid: int, body: bytes) -> "OpenFlowMessage":
+        return cls(xid=xid)
+
+
+@dataclass
+class Hello(OpenFlowMessage):
+    msg_type = c.OFPT_HELLO
+
+
+@dataclass
+class EchoRequest(OpenFlowMessage):
+    payload: bytes = b""
+
+    msg_type = c.OFPT_ECHO_REQUEST
+
+    def body_bytes(self) -> bytes:
+        return self.payload
+
+    @classmethod
+    def from_body(cls, xid: int, body: bytes) -> "EchoRequest":
+        return cls(xid=xid, payload=body)
+
+
+@dataclass
+class EchoReply(OpenFlowMessage):
+    payload: bytes = b""
+
+    msg_type = c.OFPT_ECHO_REPLY
+
+    def body_bytes(self) -> bytes:
+        return self.payload
+
+    @classmethod
+    def from_body(cls, xid: int, body: bytes) -> "EchoReply":
+        return cls(xid=xid, payload=body)
+
+
+@dataclass
+class ErrorMsg(OpenFlowMessage):
+    error_type: int = 0
+    code: int = 0
+    data: bytes = b""
+
+    msg_type = c.OFPT_ERROR
+
+    def body_bytes(self) -> bytes:
+        return struct.pack("!HH", self.error_type, self.code) + self.data
+
+    @classmethod
+    def from_body(cls, xid: int, body: bytes) -> "ErrorMsg":
+        error_type, code = struct.unpack_from("!HH", body)
+        return cls(xid=xid, error_type=error_type, code=code, data=body[4:])
+
+
+@dataclass
+class FeaturesRequest(OpenFlowMessage):
+    msg_type = c.OFPT_FEATURES_REQUEST
+
+
+@dataclass
+class FeaturesReply(OpenFlowMessage):
+    datapath_id: int = 0
+    n_buffers: int = 0
+    n_tables: int = 1
+    capabilities: int = 0
+
+    msg_type = c.OFPT_FEATURES_REPLY
+
+    def body_bytes(self) -> bytes:
+        return struct.pack(
+            "!QIBB2xII",
+            self.datapath_id,
+            self.n_buffers,
+            self.n_tables,
+            0,  # auxiliary_id
+            self.capabilities,
+            0,  # reserved
+        )
+
+    @classmethod
+    def from_body(cls, xid: int, body: bytes) -> "FeaturesReply":
+        datapath_id, n_buffers, n_tables, _aux, capabilities, _r = struct.unpack_from(
+            "!QIBB2xII", body
+        )
+        return cls(
+            xid=xid,
+            datapath_id=datapath_id,
+            n_buffers=n_buffers,
+            n_tables=n_tables,
+            capabilities=capabilities,
+        )
+
+
+@dataclass
+class FlowMod(OpenFlowMessage):
+    """Add/modify/delete a flow entry."""
+
+    match: Match = dc_field(default_factory=Match)
+    instructions: list[Instruction] = dc_field(default_factory=list)
+    command: int = c.OFPFC_ADD
+    table_id: int = 0
+    priority: int = 0x8000
+    cookie: int = 0
+    cookie_mask: int = 0
+    idle_timeout: int = 0
+    hard_timeout: int = 0
+    buffer_id: int = c.OFP_NO_BUFFER
+    out_port: int = c.OFPP_ANY
+    out_group: int = c.OFPG_ANY
+    flags: int = 0
+
+    msg_type = c.OFPT_FLOW_MOD
+
+    def body_bytes(self) -> bytes:
+        fixed = struct.pack(
+            "!QQBBHHHIIIH2x",
+            self.cookie,
+            self.cookie_mask,
+            self.table_id,
+            self.command,
+            self.idle_timeout,
+            self.hard_timeout,
+            self.priority,
+            self.buffer_id,
+            self.out_port,
+            self.out_group,
+            self.flags,
+        )
+        return fixed + self.match.to_bytes() + Instruction.serialize_list(
+            self.instructions
+        )
+
+    @classmethod
+    def from_body(cls, xid: int, body: bytes) -> "FlowMod":
+        (
+            cookie,
+            cookie_mask,
+            table_id,
+            command,
+            idle_timeout,
+            hard_timeout,
+            priority,
+            buffer_id,
+            out_port,
+            out_group,
+            flags,
+        ) = struct.unpack_from("!QQBBHHHIIIH", body)
+        match, offset = Match.from_bytes(body, 40)
+        instructions = Instruction.parse_list(body, offset, len(body))
+        return cls(
+            xid=xid,
+            match=match,
+            instructions=instructions,
+            command=command,
+            table_id=table_id,
+            priority=priority,
+            cookie=cookie,
+            cookie_mask=cookie_mask,
+            idle_timeout=idle_timeout,
+            hard_timeout=hard_timeout,
+            buffer_id=buffer_id,
+            out_port=out_port,
+            out_group=out_group,
+            flags=flags,
+        )
+
+
+@dataclass
+class PacketIn(OpenFlowMessage):
+    """Packet escalated to the controller."""
+
+    buffer_id: int = c.OFP_NO_BUFFER
+    reason: int = c.OFPR_NO_MATCH
+    table_id: int = 0
+    cookie: int = 0
+    match: Match = dc_field(default_factory=Match)
+    data: bytes = b""
+
+    msg_type = c.OFPT_PACKET_IN
+
+    @property
+    def in_port(self) -> Optional[int]:
+        """Convenience: the OXM in_port carried in the match."""
+        constraint = self.match.get("in_port")
+        return constraint.value if constraint else None
+
+    def body_bytes(self) -> bytes:
+        fixed = struct.pack(
+            "!IHBBQ",
+            self.buffer_id,
+            len(self.data),
+            self.reason,
+            self.table_id,
+            self.cookie,
+        )
+        return fixed + self.match.to_bytes() + b"\x00\x00" + self.data
+
+    @classmethod
+    def from_body(cls, xid: int, body: bytes) -> "PacketIn":
+        buffer_id, total_len, reason, table_id, cookie = struct.unpack_from(
+            "!IHBBQ", body
+        )
+        match, offset = Match.from_bytes(body, 16)
+        data = body[offset + 2 : offset + 2 + total_len]
+        return cls(
+            xid=xid,
+            buffer_id=buffer_id,
+            reason=reason,
+            table_id=table_id,
+            cookie=cookie,
+            match=match,
+            data=data,
+        )
+
+
+@dataclass
+class PacketOut(OpenFlowMessage):
+    """Controller-injected packet."""
+
+    in_port: int = c.OFPP_CONTROLLER
+    actions: list[Action] = dc_field(default_factory=list)
+    data: bytes = b""
+    buffer_id: int = c.OFP_NO_BUFFER
+
+    msg_type = c.OFPT_PACKET_OUT
+
+    def body_bytes(self) -> bytes:
+        action_bytes = Action.serialize_list(self.actions)
+        fixed = struct.pack(
+            "!IIH6x", self.buffer_id, self.in_port, len(action_bytes)
+        )
+        return fixed + action_bytes + self.data
+
+    @classmethod
+    def from_body(cls, xid: int, body: bytes) -> "PacketOut":
+        buffer_id, in_port, actions_len = struct.unpack_from("!IIH", body)
+        actions = Action.parse_list(body, 16, 16 + actions_len)
+        return cls(
+            xid=xid,
+            buffer_id=buffer_id,
+            in_port=in_port,
+            actions=actions,
+            data=body[16 + actions_len :],
+        )
+
+
+@dataclass
+class Bucket:
+    """One bucket of a group (weight matters for select groups)."""
+
+    actions: list[Action] = dc_field(default_factory=list)
+    weight: int = 1
+    watch_port: int = c.OFPP_ANY
+    watch_group: int = c.OFPG_ANY
+
+    def to_bytes(self) -> bytes:
+        action_bytes = Action.serialize_list(self.actions)
+        length = 16 + len(action_bytes)
+        return (
+            struct.pack(
+                "!HHII4x", length, self.weight, self.watch_port, self.watch_group
+            )
+            + action_bytes
+        )
+
+    @classmethod
+    def parse_list(cls, data: bytes, offset: int, end: int) -> "list[Bucket]":
+        buckets = []
+        cursor = offset
+        while cursor < end:
+            length, weight, watch_port, watch_group = struct.unpack_from(
+                "!HHII", data, cursor
+            )
+            actions = Action.parse_list(data, cursor + 16, cursor + length)
+            buckets.append(
+                cls(
+                    actions=actions,
+                    weight=weight,
+                    watch_port=watch_port,
+                    watch_group=watch_group,
+                )
+            )
+            cursor += length
+        return buckets
+
+
+@dataclass
+class GroupMod(OpenFlowMessage):
+    """Add/modify/delete a group entry."""
+
+    command: int = c.OFPGC_ADD
+    group_type: int = c.OFPGT_SELECT
+    group_id: int = 0
+    buckets: list[Bucket] = dc_field(default_factory=list)
+
+    msg_type = c.OFPT_GROUP_MOD
+
+    def body_bytes(self) -> bytes:
+        fixed = struct.pack("!HBxI", self.command, self.group_type, self.group_id)
+        return fixed + b"".join(bucket.to_bytes() for bucket in self.buckets)
+
+    @classmethod
+    def from_body(cls, xid: int, body: bytes) -> "GroupMod":
+        command, group_type, group_id = struct.unpack_from("!HBxI", body)
+        buckets = Bucket.parse_list(body, 8, len(body))
+        return cls(
+            xid=xid,
+            command=command,
+            group_type=group_type,
+            group_id=group_id,
+            buckets=buckets,
+        )
+
+
+@dataclass
+class FlowRemoved(OpenFlowMessage):
+    """Notification that a flow expired or was deleted."""
+
+    match: Match = dc_field(default_factory=Match)
+    cookie: int = 0
+    priority: int = 0
+    reason: int = c.OFPRR_IDLE_TIMEOUT
+    table_id: int = 0
+    packet_count: int = 0
+    byte_count: int = 0
+
+    msg_type = c.OFPT_FLOW_REMOVED
+
+    def body_bytes(self) -> bytes:
+        fixed = struct.pack(
+            "!QHBBIIHHQQ",
+            self.cookie,
+            self.priority,
+            self.reason,
+            self.table_id,
+            0,  # duration_sec
+            0,  # duration_nsec
+            0,  # idle_timeout
+            0,  # hard_timeout
+            self.packet_count,
+            self.byte_count,
+        )
+        return fixed + self.match.to_bytes()
+
+    @classmethod
+    def from_body(cls, xid: int, body: bytes) -> "FlowRemoved":
+        cookie, priority, reason, table_id, _ds, _dn, _it, _ht, packets, octets = (
+            struct.unpack_from("!QHBBIIHHQQ", body)
+        )
+        match, _ = Match.from_bytes(body, 40)
+        return cls(
+            xid=xid,
+            match=match,
+            cookie=cookie,
+            priority=priority,
+            reason=reason,
+            table_id=table_id,
+            packet_count=packets,
+            byte_count=octets,
+        )
+
+
+@dataclass
+class BarrierRequest(OpenFlowMessage):
+    msg_type = c.OFPT_BARRIER_REQUEST
+
+
+@dataclass
+class BarrierReply(OpenFlowMessage):
+    msg_type = c.OFPT_BARRIER_REPLY
+
+
+# ----------------------------- multipart (stats) ---------------------------
+
+
+@dataclass
+class FlowStatsRequest(OpenFlowMessage):
+    """Multipart flow-stats request (filter by table/match)."""
+
+    table_id: int = 0xFF  # all tables
+    match: Match = dc_field(default_factory=Match)
+
+    msg_type = c.OFPT_MULTIPART_REQUEST
+
+    def body_bytes(self) -> bytes:
+        fixed = struct.pack("!HH4x", c.OFPMP_FLOW, 0)
+        body = struct.pack(
+            "!B3xII4xQQ", self.table_id, c.OFPP_ANY, c.OFPG_ANY, 0, 0
+        )
+        return fixed + body + self.match.to_bytes()
+
+    @classmethod
+    def from_body(cls, xid: int, body: bytes) -> "FlowStatsRequest":
+        (table_id,) = struct.unpack_from("!B", body, 8)
+        match, _ = Match.from_bytes(body, 40)
+        return cls(xid=xid, table_id=table_id, match=match)
+
+
+@dataclass
+class FlowStatsEntry:
+    """One flow's statistics in a reply."""
+
+    table_id: int = 0
+    priority: int = 0
+    packet_count: int = 0
+    byte_count: int = 0
+    match: Match = dc_field(default_factory=Match)
+
+    def to_bytes(self) -> bytes:
+        match_bytes = self.match.to_bytes()
+        length = 48 + len(match_bytes)
+        return (
+            struct.pack(
+                "!HBxIIHHHH4xQQQ",
+                length,
+                self.table_id,
+                0,  # duration_sec
+                0,  # duration_nsec
+                self.priority,
+                0,  # idle_timeout
+                0,  # hard_timeout
+                0,  # flags
+                0,  # cookie
+                self.packet_count,
+                self.byte_count,
+            )
+            + match_bytes
+        )
+
+    @classmethod
+    def parse_list(cls, data: bytes, offset: int) -> "list[FlowStatsEntry]":
+        entries = []
+        cursor = offset
+        while cursor < len(data):
+            length, table_id = struct.unpack_from("!HB", data, cursor)
+            _, _, priority = struct.unpack_from("!IIH", data, cursor + 4)
+            _cookie, packets, octets = struct.unpack_from("!QQQ", data, cursor + 24)
+            match, _ = Match.from_bytes(data, cursor + 48)
+            entries.append(
+                cls(
+                    table_id=table_id,
+                    priority=priority,
+                    packet_count=packets,
+                    byte_count=octets,
+                    match=match,
+                )
+            )
+            cursor += length
+        return entries
+
+
+@dataclass
+class FlowStatsReply(OpenFlowMessage):
+    entries: list[FlowStatsEntry] = dc_field(default_factory=list)
+
+    msg_type = c.OFPT_MULTIPART_REPLY
+
+    def body_bytes(self) -> bytes:
+        fixed = struct.pack("!HH4x", c.OFPMP_FLOW, 0)
+        return fixed + b"".join(entry.to_bytes() for entry in self.entries)
+
+    @classmethod
+    def from_body(cls, xid: int, body: bytes) -> "FlowStatsReply":
+        return cls(xid=xid, entries=FlowStatsEntry.parse_list(body, 8))
+
+
+@dataclass
+class PortStatsRequest(OpenFlowMessage):
+    port_no: int = c.OFPP_ANY
+
+    msg_type = c.OFPT_MULTIPART_REQUEST
+
+    def body_bytes(self) -> bytes:
+        return struct.pack("!HH4x", c.OFPMP_PORT_STATS, 0) + struct.pack(
+            "!I4x", self.port_no
+        )
+
+    @classmethod
+    def from_body(cls, xid: int, body: bytes) -> "PortStatsRequest":
+        (port_no,) = struct.unpack_from("!I", body, 8)
+        return cls(xid=xid, port_no=port_no)
+
+
+@dataclass
+class PortStatsEntry:
+    port_no: int = 0
+    rx_packets: int = 0
+    tx_packets: int = 0
+    rx_bytes: int = 0
+    tx_bytes: int = 0
+    rx_dropped: int = 0
+    tx_dropped: int = 0
+
+    _STRUCT = struct.Struct("!I4xQQQQQQ")
+
+    def to_bytes(self) -> bytes:
+        return self._STRUCT.pack(
+            self.port_no,
+            self.rx_packets,
+            self.tx_packets,
+            self.rx_bytes,
+            self.tx_bytes,
+            self.rx_dropped,
+            self.tx_dropped,
+        )
+
+    @classmethod
+    def parse_list(cls, data: bytes, offset: int) -> "list[PortStatsEntry]":
+        entries = []
+        cursor = offset
+        while cursor + cls._STRUCT.size <= len(data):
+            values = cls._STRUCT.unpack_from(data, cursor)
+            entries.append(cls(*values))
+            cursor += cls._STRUCT.size
+        return entries
+
+
+@dataclass
+class PortStatsReply(OpenFlowMessage):
+    entries: list[PortStatsEntry] = dc_field(default_factory=list)
+
+    msg_type = c.OFPT_MULTIPART_REPLY
+
+    def body_bytes(self) -> bytes:
+        fixed = struct.pack("!HH4x", c.OFPMP_PORT_STATS, 0)
+        return fixed + b"".join(entry.to_bytes() for entry in self.entries)
+
+    @classmethod
+    def from_body(cls, xid: int, body: bytes) -> "PortStatsReply":
+        return cls(xid=xid, entries=PortStatsEntry.parse_list(body, 8))
+
+
+def _parse_multipart(xid: int, body: bytes, is_reply: bool) -> OpenFlowMessage:
+    (mp_type,) = struct.unpack_from("!H", body)
+    if mp_type == c.OFPMP_FLOW:
+        return (
+            FlowStatsReply.from_body(xid, body)
+            if is_reply
+            else FlowStatsRequest.from_body(xid, body)
+        )
+    if mp_type == c.OFPMP_PORT_STATS:
+        return (
+            PortStatsReply.from_body(xid, body)
+            if is_reply
+            else PortStatsRequest.from_body(xid, body)
+        )
+    raise ValueError(f"unsupported multipart type {mp_type}")
+
+
+_SIMPLE_TYPES: dict[int, type[OpenFlowMessage]] = {
+    c.OFPT_HELLO: Hello,
+    c.OFPT_ERROR: ErrorMsg,
+    c.OFPT_ECHO_REQUEST: EchoRequest,
+    c.OFPT_ECHO_REPLY: EchoReply,
+    c.OFPT_FEATURES_REQUEST: FeaturesRequest,
+    c.OFPT_FEATURES_REPLY: FeaturesReply,
+    c.OFPT_PACKET_IN: PacketIn,
+    c.OFPT_PACKET_OUT: PacketOut,
+    c.OFPT_FLOW_MOD: FlowMod,
+    c.OFPT_GROUP_MOD: GroupMod,
+    c.OFPT_FLOW_REMOVED: FlowRemoved,
+    c.OFPT_BARRIER_REQUEST: BarrierRequest,
+    c.OFPT_BARRIER_REPLY: BarrierReply,
+}
+
+
+def parse_message(data: bytes) -> OpenFlowMessage:
+    """Parse one OpenFlow message from *data* (must be exactly one)."""
+    if len(data) < 8:
+        raise ValueError(f"OpenFlow message too short: {len(data)} bytes")
+    version, msg_type, length, xid = _HEADER.unpack_from(data)
+    if version != c.OFP_VERSION:
+        raise ValueError(f"unsupported OpenFlow version {version:#04x}")
+    if length != len(data):
+        raise ValueError(f"length field {length} != buffer {len(data)}")
+    body = data[8:]
+    if msg_type in (c.OFPT_MULTIPART_REQUEST, c.OFPT_MULTIPART_REPLY):
+        return _parse_multipart(xid, body, msg_type == c.OFPT_MULTIPART_REPLY)
+    message_cls = _SIMPLE_TYPES.get(msg_type)
+    if message_cls is None:
+        raise ValueError(f"unsupported OpenFlow message type {msg_type}")
+    return message_cls.from_body(xid, body)

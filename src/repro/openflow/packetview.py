@@ -1,0 +1,93 @@
+"""A lazily-parsed field view over an Ethernet frame.
+
+The switch pipeline matches fields many times per packet; PacketView
+parses each layer once on first access and caches the extracted match
+fields.  Field names follow the OXM naming.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.net.build import parse_ipv4
+from repro.net.errors import PacketDecodeError
+from repro.net.ethernet import ETHERTYPE_IPV4, EthernetFrame
+from repro.net.ipv4 import IPPROTO_TCP, IPPROTO_UDP, IPv4Packet
+from repro.net.tcp import TcpSegment
+from repro.net.udp import UdpDatagram
+from repro.openflow.consts import OFPVID_PRESENT
+
+
+class PacketView:
+    """Read-only OXM-field access to a frame as it ingresses a port."""
+
+    def __init__(self, frame: EthernetFrame, in_port: int) -> None:
+        self.frame = frame
+        self.in_port = in_port
+        self._l3: "IPv4Packet | None | bool" = False  # False = not parsed yet
+        self._l4: "TcpSegment | UdpDatagram | None | bool" = False
+
+    def _ipv4(self) -> "IPv4Packet | None":
+        if self._l3 is False:
+            if self.frame.ethertype == ETHERTYPE_IPV4:
+                try:
+                    self._l3 = parse_ipv4(self.frame)
+                except PacketDecodeError:
+                    self._l3 = None
+            else:
+                self._l3 = None
+        return self._l3  # type: ignore[return-value]
+
+    def _transport(self) -> "TcpSegment | UdpDatagram | None":
+        if self._l4 is False:
+            packet = self._ipv4()
+            self._l4 = None
+            if packet is not None:
+                try:
+                    if packet.protocol == IPPROTO_TCP:
+                        self._l4 = TcpSegment.from_bytes(packet.payload)
+                    elif packet.protocol == IPPROTO_UDP:
+                        self._l4 = UdpDatagram.from_bytes(packet.payload)
+                except PacketDecodeError:
+                    self._l4 = None
+        return self._l4  # type: ignore[return-value]
+
+    def get(self, field: str) -> Optional[Any]:
+        """The value of OXM *field* for this packet, or None if absent.
+
+        ``vlan_vid`` follows OpenFlow semantics: tagged frames report
+        ``OFPVID_PRESENT | vid``; untagged frames report 0.
+        """
+        if field == "in_port":
+            return self.in_port
+        if field == "eth_dst":
+            return int(self.frame.dst)
+        if field == "eth_src":
+            return int(self.frame.src)
+        if field == "eth_type":
+            return self.frame.ethertype
+        if field == "vlan_vid":
+            if self.frame.vlan is None:
+                return 0
+            return OFPVID_PRESENT | self.frame.vlan.vlan_id
+        if field == "vlan_pcp":
+            return self.frame.vlan.pcp if self.frame.vlan else None
+        packet = self._ipv4()
+        if field == "ip_proto":
+            return packet.protocol if packet else None
+        if field == "ipv4_src":
+            return int(packet.src) if packet else None
+        if field == "ipv4_dst":
+            return int(packet.dst) if packet else None
+        if field == "ip_dscp":
+            return packet.dscp if packet else None
+        transport = self._transport()
+        if field == "tcp_src":
+            return transport.src_port if isinstance(transport, TcpSegment) else None
+        if field == "tcp_dst":
+            return transport.dst_port if isinstance(transport, TcpSegment) else None
+        if field == "udp_src":
+            return transport.src_port if isinstance(transport, UdpDatagram) else None
+        if field == "udp_dst":
+            return transport.dst_port if isinstance(transport, UdpDatagram) else None
+        raise KeyError(f"unknown OXM field {field!r}")

@@ -1,0 +1,33 @@
+"""Simulated SNMP management plane.
+
+Models SNMP at the PDU level: OIDs with lexicographic GETNEXT ordering,
+a MIB tree with scalar and table nodes, an agent with community-string
+auth and read-write views, and a client.  Transport is an in-memory
+call (the management network is out of band in the HARMLESS
+architecture), but every semantic the Manager depends on is faithful:
+Q-BRIDGE-MIB PortList bitmaps, ifTable walks, FDB export and
+``SET``-driven VLAN reconfiguration.
+"""
+
+from repro.snmp.agent import SnmpAgent, SnmpError, SnmpErrorStatus
+from repro.snmp.bridge_mib import attach_bridge_mib
+from repro.snmp.client import SnmpClient
+from repro.snmp.mib import MibNode, MibScalar, MibTable, MibTree
+from repro.snmp.oid import OID
+from repro.snmp.pdu import PduType, SnmpPdu, VarBind
+
+__all__ = [
+    "OID",
+    "VarBind",
+    "SnmpPdu",
+    "PduType",
+    "MibTree",
+    "MibNode",
+    "MibScalar",
+    "MibTable",
+    "SnmpAgent",
+    "SnmpClient",
+    "SnmpError",
+    "SnmpErrorStatus",
+    "attach_bridge_mib",
+]

@@ -1,0 +1,183 @@
+"""The MIB tree an agent serves.
+
+Nodes are registered under base OIDs.  Scalars read/write a single
+value; tables enumerate dynamic rows on demand (so walking ifTable
+always reflects live switch state rather than a snapshot).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.snmp.oid import OID
+
+ReadFn = Callable[[], Any]
+WriteFn = Callable[[Any], None]
+#: Table enumerator: yields (index-suffix, value) pairs in index order.
+RowsFn = Callable[[], Iterable[tuple[tuple[int, ...], Any]]]
+#: Table writer: (index-suffix, value) -> None.
+TableWriteFn = Callable[[tuple[int, ...], Any], None]
+
+
+class MibNode:
+    """Base class: something mounted at a base OID."""
+
+    def __init__(self, base: OID, writable: bool = False) -> None:
+        self.base = OID(base)
+        self.writable = writable
+
+    def get(self, oid: OID) -> "tuple[bool, Any]":
+        """(found, value) for an exact OID."""
+        raise NotImplementedError
+
+    def set(self, oid: OID, value: Any) -> bool:
+        """Write; returns False if the OID does not exist here."""
+        raise NotImplementedError
+
+    def successor(self, oid: OID) -> "Optional[tuple[OID, Any]]":
+        """First (oid, value) pair strictly after *oid* within this node."""
+        raise NotImplementedError
+
+
+class MibScalar(MibNode):
+    """A single value at ``base.0``."""
+
+    def __init__(
+        self,
+        base: OID,
+        read: ReadFn,
+        write: "WriteFn | None" = None,
+    ) -> None:
+        super().__init__(base, writable=write is not None)
+        self._read = read
+        self._write = write
+        self.instance = self.base.child(0)
+
+    def get(self, oid: OID) -> "tuple[bool, Any]":
+        if oid == self.instance:
+            return True, self._read()
+        return False, None
+
+    def set(self, oid: OID, value: Any) -> bool:
+        if oid != self.instance or self._write is None:
+            return False
+        self._write(value)
+        return True
+
+    def successor(self, oid: OID) -> "Optional[tuple[OID, Any]]":
+        if oid < self.instance:
+            return self.instance, self._read()
+        return None
+
+
+class MibTable(MibNode):
+    """A table of dynamic rows under a base OID.
+
+    The *rows* callable re-enumerates live state on every operation,
+    yielding (index-suffix, value) pairs already sorted by index.
+    """
+
+    def __init__(
+        self,
+        base: OID,
+        rows: RowsFn,
+        write: "TableWriteFn | None" = None,
+    ) -> None:
+        super().__init__(base, writable=write is not None)
+        self._rows = rows
+        self._write = write
+
+    def get(self, oid: OID) -> "tuple[bool, Any]":
+        if not self.base.is_prefix_of(oid):
+            return False, None
+        wanted = oid.strip_prefix(self.base)
+        for suffix, value in self._rows():
+            if suffix == wanted:
+                return True, value
+        return False, None
+
+    def set(self, oid: OID, value: Any) -> bool:
+        if self._write is None or not self.base.is_prefix_of(oid):
+            return False
+        self._write(oid.strip_prefix(self.base), value)
+        return True
+
+    def successor(self, oid: OID) -> "Optional[tuple[OID, Any]]":
+        best: "Optional[tuple[OID, Any]]" = None
+        for suffix, value in self._rows():
+            candidate = self.base.child(*suffix)
+            if candidate > oid and (best is None or candidate < best[0]):
+                best = (candidate, value)
+        return best
+
+
+class MibTree:
+    """All nodes served by one agent, kept sorted by base OID."""
+
+    def __init__(self) -> None:
+        self._nodes: list[MibNode] = []
+
+    def mount(self, node: MibNode) -> MibNode:
+        """Register *node*; bases must not nest inside each other."""
+        for existing in self._nodes:
+            if existing.base.is_prefix_of(node.base) or node.base.is_prefix_of(
+                existing.base
+            ):
+                raise ValueError(
+                    f"OID region conflict: {existing.base} vs {node.base}"
+                )
+        self._nodes.append(node)
+        self._nodes.sort(key=lambda n: n.base.parts)
+        return node
+
+    def scalar(self, base: "OID | str", read: ReadFn, write: "WriteFn | None" = None) -> MibScalar:
+        node = MibScalar(OID(base), read, write)
+        self.mount(node)
+        return node
+
+    def table(
+        self, base: "OID | str", rows: RowsFn, write: "TableWriteFn | None" = None
+    ) -> MibTable:
+        node = MibTable(OID(base), rows, write)
+        self.mount(node)
+        return node
+
+    def get(self, oid: OID) -> "tuple[bool, Any]":
+        for node in self._nodes:
+            found, value = node.get(oid)
+            if found:
+                return True, value
+        return False, None
+
+    def locate(self, oid: OID) -> "Optional[MibNode]":
+        """The node whose region covers *oid* (used for SET validation).
+
+        For scalars this means the exact ``base.0`` instance; for tables
+        any OID under the base, because SET may create new rows
+        (RowStatus createAndGo).
+        """
+        for node in self._nodes:
+            if isinstance(node, MibScalar):
+                if oid == node.instance:
+                    return node
+            elif node.base.is_prefix_of(oid) and len(oid) > len(node.base):
+                return node
+        return None
+
+    def set(self, oid: OID, value: Any) -> "tuple[bool, bool]":
+        """(exists, written): distinguishes noSuchName from readOnly."""
+        for node in self._nodes:
+            found, _ = node.get(oid)
+            if found:
+                if not node.writable:
+                    return True, False
+                return True, node.set(oid, value)
+        return False, False
+
+    def successor(self, oid: OID) -> "Optional[tuple[OID, Any]]":
+        best: "Optional[tuple[OID, Any]]" = None
+        for node in self._nodes:
+            candidate = node.successor(oid)
+            if candidate is not None and (best is None or candidate[0] < best[0]):
+                best = candidate
+        return best

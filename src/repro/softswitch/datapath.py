@@ -1,0 +1,546 @@
+"""The software switch datapath: pipeline execution + control channel.
+
+Pipeline semantics follow OpenFlow 1.3 §5: per-table lookup, apply-
+actions executed immediately, write-actions accumulated into the action
+set, goto-table to continue, and action-set execution (pops, pushes,
+sets, then the one output/group) when the pipeline ends.  Table miss
+drops unless a table-miss flow (priority 0, match-all) says otherwise —
+exactly the behaviour a controller program sees on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.net.ethernet import EthernetFrame
+from repro.netsim.node import Node, Port
+from repro.netsim.simulator import Simulator
+from repro.openflow import consts as c
+from repro.openflow.actions import (
+    Action,
+    GroupAction,
+    OutputAction,
+    PopVlanAction,
+    PushVlanAction,
+    SetFieldAction,
+)
+from repro.openflow.instructions import (
+    ApplyActions,
+    ClearActions,
+    GotoTable,
+    WriteActions,
+)
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    EchoReply,
+    EchoRequest,
+    ErrorMsg,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowRemoved,
+    FlowStatsEntry,
+    FlowStatsReply,
+    FlowStatsRequest,
+    GroupMod,
+    Hello,
+    OpenFlowMessage,
+    PacketIn,
+    PacketOut,
+    PortStatsEntry,
+    PortStatsReply,
+    PortStatsRequest,
+    parse_message,
+)
+from repro.openflow.packetview import PacketView
+from repro.softswitch.costmodel import DatapathCostModel, ESWITCH_COST_MODEL
+from repro.softswitch.flowtable import FlowEntry, FlowTable
+from repro.softswitch.groups import SELECT_HASH_FIELDS, GroupTable
+
+#: How often expired flows are swept (also checked lazily on lookup).
+EXPIRY_SWEEP_INTERVAL_S = 1.0
+
+
+@dataclass
+class PipelineStats:
+    """What one packet's pipeline walk cost (for the cost model)."""
+
+    lookups: int = 0
+    actions: int = 0
+    vlan_ops: int = 0
+    group_selections: int = 0
+
+
+class SoftSwitch(Node):
+    """An OpenFlow 1.3 software switch.
+
+    The controller talks to it through ``handle_message`` (serialised
+    request bytes in, response list out) plus the ``to_controller``
+    callback for asynchronous messages (packet-in, flow-removed) — the
+    :mod:`repro.controller` channel wires both ends together with a
+    configurable latency.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        datapath_id: int,
+        num_tables: int = 4,
+        cost_model: DatapathCostModel = ESWITCH_COST_MODEL,
+    ) -> None:
+        super().__init__(sim, name)
+        self.datapath_id = datapath_id
+        self.tables = [FlowTable(table_id) for table_id in range(num_tables)]
+        self.groups = GroupTable()
+        self.cost_model = cost_model
+        #: Fields hashed for select-group bucket choice.  The OpenFlow
+        #: spec leaves the selection algorithm to the implementation;
+        #: like OVS's selection_method this is switch configuration.
+        self.select_hash_fields: tuple[str, ...] = SELECT_HASH_FIELDS
+        self.to_controller: "Optional[Callable[[bytes], None]]" = None
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+        self.packets_to_controller = 0
+        self.busy_until = 0.0
+        self._xid = 0
+        self._sweep_scheduled = False
+        self._tx_buffer: list[tuple[int, EthernetFrame]] = []
+        self._async_buffer: list[OpenFlowMessage] = []
+
+    # ---------------------------------------------------------- data plane
+
+    def receive(self, port: Port, frame: EthernetFrame) -> None:
+        self._walk_and_emit(frame, port.number)
+
+    def inject(self, frame: EthernetFrame, in_port: int) -> None:
+        """Run a frame through the pipeline as if it arrived on *in_port*."""
+        self._walk_and_emit(frame, in_port)
+
+    def _walk_and_emit(self, frame: EthernetFrame, in_port: int) -> None:
+        """Run the pipeline, then emit buffered outputs after the CPU cost.
+
+        Outputs are buffered during the walk so the cost-model delay
+        (which depends on what the pipeline did) lands *before* the
+        frame leaves — that is how the processing cost becomes visible
+        as forwarding latency.
+        """
+        stats = PipelineStats()
+        self._tx_buffer: list[tuple[int, EthernetFrame]] = []
+        self._async_buffer: list[OpenFlowMessage] = []
+        self._run_pipeline(frame, in_port, stats)
+        self._flush(stats)
+
+    def _flush(self, stats: PipelineStats) -> None:
+        finish = self._charge(stats)
+        outputs = self._tx_buffer
+        async_messages = self._async_buffer
+        self._tx_buffer = []
+        self._async_buffer = []
+        if not outputs and not async_messages:
+            return
+
+        def emit() -> None:
+            for port_number, out_frame in outputs:
+                self.packets_forwarded += 1
+                self.port(port_number).send(out_frame)
+            for message in async_messages:
+                if self.to_controller is not None:
+                    self.to_controller(message.to_bytes())
+
+        if finish <= self.sim.now:
+            emit()
+        else:
+            self.sim.schedule_at(finish, emit)
+
+    def _charge(self, stats: PipelineStats) -> float:
+        """Account CPU time for a pipeline walk (serialises the core).
+
+        Returns the simulated time at which processing completes.
+        """
+        cost = self.cost_model.cost_s(
+            lookups=stats.lookups,
+            actions=stats.actions,
+            vlan_ops=stats.vlan_ops,
+            group_selections=stats.group_selections,
+        )
+        start = max(self.sim.now, self.busy_until)
+        self.busy_until = start + cost
+        return self.busy_until
+
+    def _run_pipeline(
+        self, frame: EthernetFrame, in_port: int, stats: PipelineStats
+    ) -> None:
+        now = self.sim.now
+        table_id = 0
+        action_set: dict[str, Action] = {}
+        current = frame
+        while table_id < len(self.tables):
+            view = PacketView(current, in_port)
+            entry = self.tables[table_id].lookup(view, now)
+            stats.lookups += 1
+            if entry is None:
+                self.packets_dropped += 1
+                return
+            entry.touch(now, current.wire_length)
+            next_table: "int | None" = None
+            for instruction in entry.instructions:
+                if isinstance(instruction, ApplyActions):
+                    current = self._apply_actions(
+                        list(instruction.actions), current, in_port, stats
+                    )
+                elif isinstance(instruction, WriteActions):
+                    for action in instruction.actions:
+                        action_set[self._action_set_key(action)] = action
+                elif isinstance(instruction, ClearActions):
+                    action_set.clear()
+                elif isinstance(instruction, GotoTable):
+                    next_table = instruction.table_id
+            if next_table is None:
+                break
+            if next_table <= table_id:
+                raise ValueError(
+                    f"{self.name}: goto-table must increase ({table_id} -> {next_table})"
+                )
+            table_id = next_table
+        if action_set:
+            ordered = self._order_action_set(action_set)
+            self._apply_actions(ordered, current, in_port, stats)
+        # No action set and no outputs along the way: packet is dropped
+        # implicitly (already accounted where applicable).
+
+    @staticmethod
+    def _action_set_key(action: Action) -> str:
+        # One action of each kind in the set; output/group share a slot
+        # (group takes precedence per spec).
+        if isinstance(action, (OutputAction, GroupAction)):
+            return "output"
+        return type(action).__name__
+
+    @staticmethod
+    def _order_action_set(action_set: dict[str, Action]) -> list[Action]:
+        """Spec order: pop, push, set-field, then output/group last."""
+        precedence = {
+            "PopVlanAction": 0,
+            "PushVlanAction": 1,
+            "SetFieldAction": 2,
+            "output": 3,
+        }
+        return [
+            action
+            for _, action in sorted(
+                action_set.items(), key=lambda item: precedence.get(item[0], 2)
+            )
+        ]
+
+    def _apply_actions(
+        self,
+        actions: list[Action],
+        frame: EthernetFrame,
+        in_port: int,
+        stats: PipelineStats,
+    ) -> EthernetFrame:
+        """Execute *actions* in order, returning the transformed frame."""
+        current = frame
+        for action in actions:
+            stats.actions += 1
+            if isinstance(action, OutputAction):
+                self._output(current, action, in_port)
+            elif isinstance(action, GroupAction):
+                self._run_group(current, action.group_id, in_port, stats)
+            elif isinstance(action, (PushVlanAction, PopVlanAction)):
+                stats.vlan_ops += 1
+                current = action.apply(current)
+            else:
+                current = action.apply(current)
+        return current
+
+    def _output(self, frame: EthernetFrame, action: OutputAction, in_port: int) -> None:
+        port_no = action.port
+        if port_no == c.OFPP_CONTROLLER:
+            self._send_packet_in(
+                frame, in_port, reason=c.OFPR_ACTION, max_len=action.max_len
+            )
+            return
+        if port_no in (c.OFPP_FLOOD, c.OFPP_ALL):
+            for number in sorted(self.ports):
+                if number != in_port:
+                    self._transmit(number, frame)
+            return
+        if port_no == c.OFPP_IN_PORT:
+            self._transmit(in_port, frame)
+            return
+        if port_no in self.ports:
+            self._transmit(port_no, frame)
+        else:
+            self.packets_dropped += 1
+
+    def _transmit(self, port_number: int, frame: EthernetFrame) -> None:
+        self._tx_buffer.append((port_number, frame))
+
+    def _run_group(
+        self, frame: EthernetFrame, group_id: int, in_port: int, stats: PipelineStats
+    ) -> None:
+        entry = self.groups.get(group_id)
+        if entry is None:
+            self.packets_dropped += 1
+            return
+        entry.packet_count += 1
+        if entry.group_type == c.OFPGT_ALL:
+            for index, bucket in enumerate(entry.buckets):
+                entry.bucket_packet_counts[index] += 1
+                self._apply_actions(list(bucket.actions), frame.copy(), in_port, stats)
+            return
+        view = PacketView(frame, in_port)
+        stats.group_selections += 1
+        if entry.group_type == c.OFPGT_SELECT:
+            index = entry.select_bucket(view, hash_fields=self.select_hash_fields)
+        else:  # indirect
+            index = 0 if entry.buckets else None
+        if index is None:
+            self.packets_dropped += 1
+            return
+        entry.bucket_packet_counts[index] += 1
+        self._apply_actions(list(entry.buckets[index].actions), frame, in_port, stats)
+
+    # -------------------------------------------------------- controller IO
+
+    def _next_xid(self) -> int:
+        self._xid += 1
+        return self._xid
+
+    def _send_async(self, message: OpenFlowMessage) -> None:
+        if self.to_controller is not None:
+            self.to_controller(message.to_bytes())
+
+    def _send_packet_in(
+        self,
+        frame: EthernetFrame,
+        in_port: int,
+        reason: int,
+        max_len: int = c.OFPCML_NO_BUFFER,
+    ) -> None:
+        self.packets_to_controller += 1
+        data = frame.to_bytes()
+        if max_len != c.OFPCML_NO_BUFFER:
+            data = data[:max_len]
+        self._async_buffer.append(
+            PacketIn(
+                xid=self._next_xid(),
+                reason=reason,
+                match=Match(in_port=in_port),
+                data=data,
+            )
+        )
+
+    def handle_message(self, raw: bytes) -> list[bytes]:
+        """Process one controller->switch message; returns reply bytes."""
+        message = parse_message(raw)
+        if isinstance(message, Hello):
+            return [Hello(xid=message.xid).to_bytes()]
+        if isinstance(message, EchoRequest):
+            return [EchoReply(xid=message.xid, payload=message.payload).to_bytes()]
+        if isinstance(message, FeaturesRequest):
+            return [
+                FeaturesReply(
+                    xid=message.xid,
+                    datapath_id=self.datapath_id,
+                    n_buffers=0,
+                    n_tables=len(self.tables),
+                ).to_bytes()
+            ]
+        if isinstance(message, FlowMod):
+            error = self._handle_flow_mod(message)
+            return [error.to_bytes()] if error else []
+        if isinstance(message, GroupMod):
+            error = self._handle_group_mod(message)
+            return [error.to_bytes()] if error else []
+        if isinstance(message, PacketOut):
+            self._handle_packet_out(message)
+            return []
+        if isinstance(message, FlowStatsRequest):
+            return [self._flow_stats(message).to_bytes()]
+        if isinstance(message, PortStatsRequest):
+            return [self._port_stats(message).to_bytes()]
+        from repro.openflow.messages import BarrierReply, BarrierRequest
+
+        if isinstance(message, BarrierRequest):
+            return [BarrierReply(xid=message.xid).to_bytes()]
+        return [
+            ErrorMsg(
+                xid=message.xid, error_type=1, code=0, data=raw[:64]
+            ).to_bytes()
+        ]
+
+    def _handle_flow_mod(self, message: FlowMod) -> "ErrorMsg | None":
+        if message.table_id >= len(self.tables):
+            return ErrorMsg(xid=message.xid, error_type=5, code=2)  # bad table
+        table = self.tables[message.table_id]
+        now = self.sim.now
+        if message.command == c.OFPFC_ADD:
+            if message.idle_timeout or message.hard_timeout:
+                self._ensure_sweeper()
+            table.install(
+                FlowEntry(
+                    match=message.match,
+                    priority=message.priority,
+                    instructions=list(message.instructions),
+                    cookie=message.cookie,
+                    idle_timeout=float(message.idle_timeout),
+                    hard_timeout=float(message.hard_timeout),
+                    send_flow_removed=bool(message.flags & 1),
+                ),
+                now,
+            )
+            return None
+        if message.command in (c.OFPFC_DELETE, c.OFPFC_DELETE_STRICT):
+            removed = table.delete(
+                message.match,
+                priority=message.priority,
+                strict=message.command == c.OFPFC_DELETE_STRICT,
+                cookie=message.cookie,
+                cookie_mask=message.cookie_mask,
+            )
+            for entry in removed:
+                if entry.send_flow_removed:
+                    self._send_async(
+                        FlowRemoved(
+                            xid=self._next_xid(),
+                            match=entry.match,
+                            cookie=entry.cookie,
+                            priority=entry.priority,
+                            reason=c.OFPRR_DELETE,
+                            table_id=table.table_id,
+                            packet_count=entry.packet_count,
+                            byte_count=entry.byte_count,
+                        )
+                    )
+            return None
+        if message.command in (c.OFPFC_MODIFY, c.OFPFC_MODIFY_STRICT):
+            for entry in table:
+                same_priority = (
+                    entry.priority == message.priority
+                    or message.command == c.OFPFC_MODIFY
+                )
+                if same_priority and entry.match == message.match:
+                    entry.instructions = list(message.instructions)
+            return None
+        return ErrorMsg(xid=message.xid, error_type=4, code=0)  # bad command
+
+    def _handle_group_mod(self, message: GroupMod) -> "ErrorMsg | None":
+        try:
+            if message.command == c.OFPGC_ADD:
+                self.groups.add(message.group_id, message.group_type, message.buckets)
+            elif message.command == c.OFPGC_MODIFY:
+                self.groups.modify(
+                    message.group_id, message.group_type, message.buckets
+                )
+            elif message.command == c.OFPGC_DELETE:
+                self.groups.delete(message.group_id)
+            else:
+                return ErrorMsg(xid=message.xid, error_type=6, code=0)
+        except (ValueError, KeyError):
+            return ErrorMsg(xid=message.xid, error_type=6, code=1)
+        return None
+
+    def _handle_packet_out(self, message: PacketOut) -> None:
+        frame = EthernetFrame.from_bytes(message.data)
+        in_port = (
+            message.in_port
+            if message.in_port not in (c.OFPP_CONTROLLER, c.OFPP_ANY)
+            else 0
+        )
+        stats = PipelineStats()
+        self._tx_buffer = []
+        self._async_buffer = []
+        self._apply_actions(list(message.actions), frame, in_port, stats)
+        self._flush(stats)
+
+    def _flow_stats(self, message: FlowStatsRequest) -> FlowStatsReply:
+        entries = []
+        for table in self.tables:
+            if message.table_id != 0xFF and table.table_id != message.table_id:
+                continue
+            for entry in table:
+                if not entry.match.is_subset_of(message.match):
+                    continue
+                entries.append(
+                    FlowStatsEntry(
+                        table_id=table.table_id,
+                        priority=entry.priority,
+                        packet_count=entry.packet_count,
+                        byte_count=entry.byte_count,
+                        match=entry.match,
+                    )
+                )
+        return FlowStatsReply(xid=message.xid, entries=entries)
+
+    def _port_stats(self, message: PortStatsRequest) -> PortStatsReply:
+        entries = []
+        for number in sorted(self.ports):
+            if message.port_no not in (c.OFPP_ANY, number):
+                continue
+            port = self.ports[number]
+            entries.append(
+                PortStatsEntry(
+                    port_no=number,
+                    rx_packets=port.rx_frames,
+                    tx_packets=port.tx_frames,
+                    rx_bytes=port.rx_bytes,
+                    tx_bytes=port.tx_bytes,
+                    tx_dropped=port.tx_dropped,
+                )
+            )
+        return PortStatsReply(xid=message.xid, entries=entries)
+
+    # ----------------------------------------------------------- timeouts
+
+    def _ensure_sweeper(self) -> None:
+        if self._sweep_scheduled:
+            return
+        self._sweep_scheduled = True
+        self.sim.schedule(EXPIRY_SWEEP_INTERVAL_S, self._sweep)
+
+    def _sweep(self) -> None:
+        now = self.sim.now
+        any_mortal_flows = False
+        for table in self.tables:
+            for entry in table.expire(now):
+                if entry.send_flow_removed:
+                    reason = (
+                        c.OFPRR_HARD_TIMEOUT
+                        if entry.hard_timeout
+                        and now - entry.installed_at >= entry.hard_timeout
+                        else c.OFPRR_IDLE_TIMEOUT
+                    )
+                    self._send_async(
+                        FlowRemoved(
+                            xid=self._next_xid(),
+                            match=entry.match,
+                            cookie=entry.cookie,
+                            priority=entry.priority,
+                            reason=reason,
+                            table_id=table.table_id,
+                            packet_count=entry.packet_count,
+                            byte_count=entry.byte_count,
+                        )
+                    )
+            if any(flow.idle_timeout or flow.hard_timeout for flow in table):
+                any_mortal_flows = True
+        if any_mortal_flows:
+            self.sim.schedule(EXPIRY_SWEEP_INTERVAL_S, self._sweep)
+        else:
+            self._sweep_scheduled = False
+
+    # ------------------------------------------------------------- helpers
+
+    def dump_pipeline(self) -> str:
+        """All tables + groups, readable (used by FIG1 bench)."""
+        sections = [f"=== {self.name} (dpid={self.datapath_id:#x}) ==="]
+        for table in self.tables:
+            if len(table):
+                sections.append(table.dump())
+        if len(self.groups):
+            sections.append(self.groups.dump())
+        return "\n".join(sections)

@@ -1,0 +1,141 @@
+"""Flow tables: priority-ordered masked matching with timeouts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.openflow.instructions import Instruction
+from repro.openflow.match import Match
+from repro.openflow.packetview import PacketView
+
+
+@dataclass
+class FlowEntry:
+    """One installed flow."""
+
+    match: Match
+    priority: int = 0x8000
+    instructions: list[Instruction] = field(default_factory=list)
+    cookie: int = 0
+    idle_timeout: float = 0.0  # seconds; 0 = never
+    hard_timeout: float = 0.0
+    send_flow_removed: bool = False
+    installed_at: float = 0.0
+    last_used_at: float = 0.0
+    packet_count: int = 0
+    byte_count: int = 0
+
+    def touch(self, now: float, wire_bytes: int) -> None:
+        self.packet_count += 1
+        self.byte_count += wire_bytes
+        self.last_used_at = now
+
+    def is_expired(self, now: float) -> bool:
+        if self.hard_timeout and now - self.installed_at >= self.hard_timeout:
+            return True
+        if self.idle_timeout and now - self.last_used_at >= self.idle_timeout:
+            return True
+        return False
+
+    def describe(self) -> str:
+        verbs = " ".join(str(instruction) for instruction in self.instructions)
+        return (
+            f"prio={self.priority} match[{self.match.describe()}] "
+            f"-> {verbs or 'drop'} "
+            f"(pkts={self.packet_count})"
+        )
+
+
+class FlowTable:
+    """One numbered table of a pipeline.
+
+    Entries are kept sorted by descending priority; lookup returns the
+    highest-priority matching entry.  Ties at equal priority resolve to
+    the earliest-installed entry (OpenFlow leaves this undefined;
+    deterministic beats undefined for differential testing).
+    """
+
+    def __init__(self, table_id: int) -> None:
+        self.table_id = table_id
+        self._entries: list[FlowEntry] = []
+        self.lookups = 0
+        self.matches = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[FlowEntry]:
+        return iter(self._entries)
+
+    def install(self, entry: FlowEntry, now: float) -> None:
+        """Add *entry*, replacing an existing identical (match, priority)."""
+        entry.installed_at = now
+        entry.last_used_at = now
+        self._entries = [
+            existing
+            for existing in self._entries
+            if not (
+                existing.priority == entry.priority and existing.match == entry.match
+            )
+        ]
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: (-e.priority, e.installed_at))
+
+    def lookup(self, view: PacketView, now: float) -> Optional[FlowEntry]:
+        """Highest-priority live entry matching *view*."""
+        self.lookups += 1
+        for entry in self._entries:
+            if entry.is_expired(now):
+                continue
+            if entry.match.matches(view):
+                self.matches += 1
+                return entry
+        return None
+
+    def delete(
+        self,
+        match: Match,
+        priority: "int | None" = None,
+        strict: bool = False,
+        cookie: "int | None" = None,
+        cookie_mask: int = 0,
+    ) -> list[FlowEntry]:
+        """Remove matching entries, returning them (for flow-removed).
+
+        Strict: exact (match, priority).  Non-strict: every entry whose
+        match is a subset of *match* (the behaviour switches implement).
+        """
+        removed = []
+        kept = []
+        for entry in self._entries:
+            if cookie_mask and (entry.cookie & cookie_mask) != (
+                (cookie or 0) & cookie_mask
+            ):
+                kept.append(entry)
+                continue
+            if strict:
+                doomed = entry.priority == priority and entry.match == match
+            else:
+                doomed = entry.match.is_subset_of(match)
+            if doomed:
+                removed.append(entry)
+            else:
+                kept.append(entry)
+        self._entries = kept
+        return removed
+
+    def expire(self, now: float) -> list[FlowEntry]:
+        """Remove and return all timed-out entries."""
+        expired = [entry for entry in self._entries if entry.is_expired(now)]
+        if expired:
+            self._entries = [
+                entry for entry in self._entries if not entry.is_expired(now)
+            ]
+        return expired
+
+    def dump(self) -> str:
+        """Readable flow-table listing (the Fig. 1 'Flow table of SS_1')."""
+        lines = [f"table {self.table_id} ({len(self._entries)} flows):"]
+        lines.extend(f"  {entry.describe()}" for entry in self._entries)
+        return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Synthetic workload generation (seeded, reproducible)."""
+
+from repro.traffic.generators import (
+    FlowSpec,
+    cbr_schedule,
+    make_flow_population,
+    poisson_schedule,
+    synth_frame,
+    zipf_weights,
+)
+
+__all__ = [
+    "FlowSpec",
+    "make_flow_population",
+    "zipf_weights",
+    "synth_frame",
+    "cbr_schedule",
+    "poisson_schedule",
+]

@@ -1,0 +1,76 @@
+"""Tests for the incremental migration planner."""
+
+import pytest
+
+from repro.core import MigrationPlanner, MigrationStrategy, SwitchSite
+
+
+def sites(n=6):
+    return [
+        SwitchSite(name=f"edge{i}", ports=24, ports_in_use=20) for i in range(n)
+    ]
+
+
+class TestPlanShapes:
+    def test_flag_day_is_one_wave(self):
+        plan = MigrationPlanner(sites()).plan(MigrationStrategy.FLAG_DAY)
+        assert plan.num_waves == 1
+        assert len(plan.waves[0].sites) == 6
+
+    def test_incremental_waves_respect_size(self):
+        plan = MigrationPlanner(sites(7)).plan(
+            MigrationStrategy.HARMLESS_WAVES, wave_size=2
+        )
+        assert plan.num_waves == 4
+        assert [len(w.sites) for w in plan.waves] == [2, 2, 2, 1]
+
+    def test_coverage_monotone(self):
+        plan = MigrationPlanner(sites()).plan(
+            MigrationStrategy.INCREMENTAL_COTS, wave_size=2
+        )
+        curve = plan.coverage_curve()
+        values = [ports for _, ports in curve]
+        assert values == sorted(values)
+        assert values[-1] == 6 * 20
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationPlanner([])
+
+    def test_bad_wave_size_rejected(self):
+        with pytest.raises(ValueError):
+            MigrationPlanner(sites()).plan(
+                MigrationStrategy.HARMLESS_WAVES, wave_size=0
+            )
+
+
+class TestEconomics:
+    def test_harmless_cheapest(self):
+        plans = MigrationPlanner(sites()).compare_all(wave_size=2)
+        assert (
+            plans["harmless-waves"].total_capex
+            < plans["incremental-cots"].total_capex
+        )
+        assert (
+            plans["harmless-waves"].total_capex <= plans["flag-day"].total_capex
+        )
+
+    def test_harmless_least_downtime(self):
+        plans = MigrationPlanner(sites()).compare_all(wave_size=2)
+        assert (
+            plans["harmless-waves"].total_downtime_s
+            < plans["flag-day"].total_downtime_s
+        )
+
+    def test_flag_day_worst_single_event(self):
+        plans = MigrationPlanner(sites()).compare_all(wave_size=2)
+        assert (
+            plans["flag-day"].max_single_downtime_s
+            >= plans["incremental-cots"].max_single_downtime_s
+        )
+
+    def test_describe(self):
+        plan = MigrationPlanner(sites(2)).plan(MigrationStrategy.HARMLESS_WAVES)
+        text = plan.describe()
+        assert "wave 1" in text
+        assert "harmless-waves" in text

@@ -1,0 +1,130 @@
+"""Tests for SS_1 rule generation and verification."""
+
+import pytest
+
+from repro.core import PortVlanMap, verify_translator_rules
+from repro.core.translator import generate_translator_rules
+from repro.openflow import FlowMod, Match
+from repro.openflow.actions import OutputAction, PopVlanAction
+from repro.openflow.instructions import ApplyActions
+from repro.openflow.consts import OFPVID_PRESENT
+
+
+def make_rules(ports=(1, 2, 3), trunk=1000):
+    pmap = PortVlanMap.allocate(list(ports))
+    patch = {port: port for port in ports}
+    return generate_translator_rules(pmap, trunk_port=trunk, patch_port_of=patch)
+
+
+class TestGeneration:
+    def test_two_rules_per_port(self):
+        rules = make_rules(ports=(1, 2, 3, 4))
+        assert len(rules.flow_mods) == 8
+
+    def test_trunk_rule_shape(self):
+        rules = make_rules(ports=(1,))
+        trunk_rules = [
+            fm
+            for fm in rules.flow_mods
+            if fm.match.get("in_port").value == 1000
+        ]
+        assert len(trunk_rules) == 1
+        fm = trunk_rules[0]
+        assert fm.match.get("vlan_vid").value == OFPVID_PRESENT | 101
+        actions = fm.instructions[0].actions
+        assert isinstance(actions[0], PopVlanAction)
+        assert actions[1] == OutputAction(port=1)
+
+    def test_patch_rule_shape(self):
+        rules = make_rules(ports=(1,))
+        patch_rules = [
+            fm for fm in rules.flow_mods if fm.match.get("in_port").value == 1
+        ]
+        assert len(patch_rules) == 1
+        actions = patch_rules[0].instructions[0].actions
+        from repro.openflow.actions import PushVlanAction, SetFieldAction
+
+        assert isinstance(actions[0], PushVlanAction)
+        assert isinstance(actions[1], SetFieldAction)
+        assert actions[1].value & 0xFFF == 101
+        assert actions[2] == OutputAction(port=1000)
+
+    def test_missing_patch_port_rejected(self):
+        pmap = PortVlanMap.allocate([1, 2])
+        with pytest.raises(ValueError, match="no patch port"):
+            generate_translator_rules(pmap, trunk_port=1000, patch_port_of={1: 1})
+
+    def test_duplicate_patch_ports_rejected(self):
+        pmap = PortVlanMap.allocate([1, 2])
+        with pytest.raises(ValueError, match="distinct"):
+            generate_translator_rules(
+                pmap, trunk_port=1000, patch_port_of={1: 5, 2: 5}
+            )
+
+    def test_trunk_collision_rejected(self):
+        pmap = PortVlanMap.allocate([1])
+        with pytest.raises(ValueError, match="collides"):
+            generate_translator_rules(pmap, trunk_port=1, patch_port_of={1: 1})
+
+    def test_describe_mentions_all_ports(self):
+        rules = make_rules(ports=(1, 2))
+        text = rules.describe()
+        assert "vlan=101" in text
+        assert "vlan=102" in text
+        assert "push_vlan 101" in text
+
+
+class TestVerification:
+    def test_generated_rules_verify(self):
+        check = verify_translator_rules(make_rules(ports=(1, 2, 3, 4, 5)))
+        assert check.ok, check.problems
+
+    def test_missing_rule_detected(self):
+        rules = make_rules(ports=(1, 2))
+        rules.flow_mods = rules.flow_mods[:-1]  # drop one patch rule
+        check = verify_translator_rules(rules)
+        assert not check.ok
+        assert any("does not tag" in p for p in check.problems)
+
+    def test_wrong_vlan_detected(self):
+        rules = make_rules(ports=(1, 2))
+        # Corrupt a trunk rule's dispatch target.
+        for fm in rules.flow_mods:
+            constraint = fm.match.get("in_port")
+            if constraint.value == 1000:
+                fm.instructions = [
+                    ApplyActions(
+                        actions=(PopVlanAction(), OutputAction(port=99))
+                    )
+                ]
+                break
+        check = verify_translator_rules(rules)
+        assert not check.ok
+
+    def test_stray_rule_detected(self):
+        rules = make_rules(ports=(1,))
+        rules.flow_mods.append(
+            FlowMod(
+                match=Match(in_port=1000, vlan_vid=OFPVID_PRESENT | 999),
+                instructions=[
+                    ApplyActions(actions=(PopVlanAction(), OutputAction(port=7)))
+                ],
+            )
+        )
+        check = verify_translator_rules(rules)
+        assert not check.ok
+        assert any("stray" in p for p in check.problems)
+
+    def test_swapped_dispatch_detected(self):
+        """Swapping two ports' patch outputs breaks the bijection."""
+        rules = make_rules(ports=(1, 2))
+        trunk_rules = [
+            fm for fm in rules.flow_mods if fm.match.get("in_port").value == 1000
+        ]
+        a, b = trunk_rules
+        a_out = a.instructions[0].actions[1]
+        b_out = b.instructions[0].actions[1]
+        a.instructions = [ApplyActions(actions=(PopVlanAction(), b_out))]
+        b.instructions = [ApplyActions(actions=(PopVlanAction(), a_out))]
+        check = verify_translator_rules(rules)
+        assert not check.ok

@@ -1,0 +1,57 @@
+"""Differential transparency tests: HARMLESS vs ideal OpenFlow switch."""
+
+import pytest
+
+from repro.apps import LearningSwitchApp
+from repro.core import TransparencyHarness
+from repro.core.verify import random_udp_traffic
+
+
+def learning_apps():
+    return [LearningSwitchApp()]
+
+
+class TestTransparency:
+    def test_seeded_udp_traffic_is_equivalent(self):
+        harness = TransparencyHarness(num_hosts=4, app_factory=learning_apps)
+        result = harness.run(random_udp_traffic(seed=7, num_messages=30))
+        assert result.equivalent, result.mismatches
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_multiple_seeds(self, seed):
+        harness = TransparencyHarness(num_hosts=3, app_factory=learning_apps)
+        result = harness.run(random_udp_traffic(seed=seed, num_messages=20))
+        assert result.equivalent, result.mismatches
+
+    def test_ping_equivalence(self):
+        harness = TransparencyHarness(num_hosts=3, app_factory=learning_apps)
+
+        def traffic(env):
+            env.sim.schedule(0.1, lambda: env.hosts[0].ping(env.hosts[1].ip))
+            env.sim.schedule(0.5, lambda: env.hosts[2].ping(env.hosts[0].ip))
+            env.sim.schedule(1.0, lambda: env.hosts[1].ping(env.hosts[2].ip))
+
+        result = harness.run(traffic)
+        assert result.equivalent, result.mismatches
+        assert result.harmless_obs["h1"]["pings_ok"] == 1
+
+    def test_mismatch_is_reported_when_environments_differ(self):
+        """Sanity check the differ itself: different traffic -> mismatch."""
+        harness = TransparencyHarness(num_hosts=2, app_factory=learning_apps)
+        sent = {"count": 0}
+
+        def skewed_traffic(env):
+            # Second environment sends one extra message.
+            sent["count"] += 1
+            extra = sent["count"] - 1
+            for index in range(1 + extra):
+                env.sim.schedule(
+                    0.1 * (index + 1),
+                    lambda i=index: env.hosts[0].send_udp(
+                        env.hosts[1].ip, 7000, b"skew", src_port=12000
+                    ),
+                )
+
+        result = harness.run(skewed_traffic)
+        assert not result.equivalent
+        assert result.mismatches

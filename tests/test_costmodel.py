@@ -1,0 +1,68 @@
+"""Tests for the capex model behind the cost-effectiveness claim."""
+
+import pytest
+
+from repro.costmodel import CostModel
+
+
+class TestStrategies:
+    def test_harmless_cheaper_at_enterprise_scale(self):
+        """The paper's claim: no substantial price tag at SME port counts."""
+        model = CostModel(legacy_owned=True, oversubscription=4.0)
+        for ports in (24, 48, 96, 192):
+            comparison = model.compare(ports)
+            assert (
+                comparison["harmless"].total < comparison["cots-hardware"].total
+            ), f"HARMLESS not cheaper at {ports} ports"
+
+    def test_harmless_beats_pure_software_on_density(self):
+        model = CostModel()
+        comparison = model.compare(96)
+        assert comparison["harmless"].total < comparison["pure-software"].total
+
+    def test_per_port_decreases_with_scale_for_harmless(self):
+        model = CostModel()
+        small = model.harmless(24).per_port
+        large = model.harmless(192).per_port
+        assert large < small
+
+    def test_greenfield_erodes_the_advantage(self):
+        """If the legacy gear must be bought, the gap narrows."""
+        owned = CostModel(legacy_owned=True).harmless(96).total
+        greenfield = CostModel(legacy_owned=False).harmless(96).total
+        assert greenfield > owned
+
+    def test_breakdown_itemised(self):
+        result = CostModel().harmless(48)
+        names = [name for name, _, _ in result.breakdown.items]
+        assert "x86-server-2s" in names
+        assert "10g-dual-nic" in names
+        assert result.total == pytest.approx(
+            sum(q * p for _, q, p in result.breakdown.items)
+        )
+
+    def test_describe_renders(self):
+        text = CostModel().cots_hardware(72).breakdown.describe()
+        assert "total" in text
+        assert "$" in text
+
+    def test_oversubscription_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(oversubscription=0.5)
+
+    def test_cpu_bound_scaling(self):
+        """At line rate (no oversubscription) more servers are needed."""
+        tight = CostModel(oversubscription=1.0).harmless(192).total
+        relaxed = CostModel(oversubscription=8.0).harmless(192).total
+        assert tight > relaxed
+
+    def test_sweep_shapes(self):
+        rows = CostModel().sweep([8, 16, 32])
+        assert len(rows) == 3
+        assert all(set(row) == {"harmless", "cots-hardware", "pure-software"} for row in rows)
+
+    def test_crossover_search_runs(self):
+        crossover = CostModel(oversubscription=1.0).crossover_vs_cots(max_ports=1024)
+        # With line-rate CPU provisioning COTS eventually wins (hardware
+        # forwards for free); the exact point depends on the catalogue.
+        assert crossover is None or crossover > 0

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout  # every example narrates what it does
+
+
+def test_example_inventory():
+    names = {path.stem for path in EXAMPLES}
+    # The deliverable: a quickstart plus the paper's three use cases.
+    assert {
+        "quickstart",
+        "load_balancer",
+        "dmz_policy",
+        "parental_control",
+    } <= names
+    assert len(EXAMPLES) >= 4

@@ -1,0 +1,130 @@
+"""Tests for the legacy switch configuration model."""
+
+import pytest
+
+from repro.legacy import PortMode, PortVlanConfig, RunningConfig, VlanDecl
+
+
+class TestPortVlanConfig:
+    def test_defaults_are_access_vlan1(self):
+        config = PortVlanConfig()
+        assert config.mode is PortMode.ACCESS
+        assert config.pvid == 1
+        assert config.carries(1)
+        assert not config.carries(2)
+
+    def test_trunk_carries_allowed_and_native(self):
+        config = PortVlanConfig(
+            mode=PortMode.TRUNK, allowed_vlans={10, 20}, native_vlan=99
+        )
+        assert config.carries(10)
+        assert config.carries(20)
+        assert config.carries(99)
+        assert not config.carries(30)
+
+    def test_disabled_port_carries_nothing(self):
+        config = PortVlanConfig(enabled=False)
+        assert not config.carries(1)
+
+    def test_access_with_tagged_vlans_rejected(self):
+        with pytest.raises(ValueError):
+            PortVlanConfig(mode=PortMode.ACCESS, allowed_vlans={5})
+
+    def test_pvid_range(self):
+        with pytest.raises(ValueError):
+            PortVlanConfig(pvid=4095)
+        with pytest.raises(ValueError):
+            PortVlanConfig(pvid=0)
+
+    def test_copy_is_deep_for_sets(self):
+        config = PortVlanConfig(mode=PortMode.TRUNK, allowed_vlans={10})
+        clone = config.copy()
+        clone.allowed_vlans.add(20)
+        assert config.allowed_vlans == {10}
+
+
+class TestVlanDecl:
+    def test_default_name(self):
+        assert VlanDecl(101).name == "VLAN0101"
+
+    def test_explicit_name(self):
+        assert VlanDecl(101, "harmless-p1").name == "harmless-p1"
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            VlanDecl(0)
+        with pytest.raises(ValueError):
+            VlanDecl(4095)
+
+
+class TestRunningConfig:
+    def test_default_vlan_exists(self):
+        config = RunningConfig()
+        assert 1 in config.vlans
+        assert config.vlans[1].name == "default"
+
+    def test_set_access_declares_vlan(self):
+        config = RunningConfig()
+        config.set_access(3, 101)
+        assert 101 in config.vlans
+        assert config.port(3).pvid == 101
+        assert config.port(3).mode is PortMode.ACCESS
+
+    def test_set_trunk(self):
+        config = RunningConfig()
+        config.set_trunk(24, {101, 102}, native_vlan=1)
+        port = config.port(24)
+        assert port.mode is PortMode.TRUNK
+        assert port.allowed_vlans == {101, 102}
+        assert port.native_vlan == 1
+
+    def test_set_access_clears_trunk_state(self):
+        config = RunningConfig()
+        config.set_trunk(5, {10, 20})
+        config.set_access(5, 30)
+        assert config.port(5).allowed_vlans == set()
+        assert config.port(5).mode is PortMode.ACCESS
+
+    def test_ports_in_vlan(self):
+        config = RunningConfig()
+        config.set_access(1, 101)
+        config.set_access(2, 101)
+        config.set_access(3, 102)
+        config.set_trunk(24, {101, 102})
+        assert config.ports_in_vlan(101) == [1, 2, 24]
+        assert config.ports_in_vlan(102) == [3, 24]
+
+    def test_remove_vlan_in_use_rejected(self):
+        config = RunningConfig()
+        config.set_access(1, 101)
+        with pytest.raises(ValueError):
+            config.remove_vlan(101)
+
+    def test_remove_unused_vlan(self):
+        config = RunningConfig()
+        config.declare_vlan(200)
+        config.remove_vlan(200)
+        assert 200 not in config.vlans
+
+    def test_cannot_remove_default_vlan(self):
+        with pytest.raises(ValueError):
+            RunningConfig().remove_vlan(1)
+
+    def test_copy_is_independent(self):
+        config = RunningConfig()
+        config.set_access(1, 101)
+        clone = config.copy()
+        clone.set_access(1, 999)
+        assert config.port(1).pvid == 101
+
+    def test_diff_reports_changes(self):
+        config = RunningConfig()
+        modified = config.copy()
+        modified.set_access(1, 101)
+        changes = config.diff(modified)
+        assert any("vlan 101" in change for change in changes)
+        assert any("port 1" in change for change in changes)
+
+    def test_diff_empty_for_identical(self):
+        config = RunningConfig()
+        assert config.diff(config.copy()) == []

@@ -1,0 +1,188 @@
+"""Unit + property tests for Ethernet frames and VLAN tag handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IPV4,
+    Dot1QTag,
+    EthernetFrame,
+    MACAddress,
+    PacketDecodeError,
+)
+
+MAC_A = MACAddress("00:00:00:00:00:0a")
+MAC_B = MACAddress("00:00:00:00:00:0b")
+
+
+def make_frame(payload=b"hello", tags=None):
+    return EthernetFrame(
+        dst=MAC_B,
+        src=MAC_A,
+        ethertype=ETHERTYPE_IPV4,
+        payload=payload,
+        tags=list(tags or []),
+    )
+
+
+class TestDot1QTag:
+    def test_tci_packing(self):
+        tag = Dot1QTag(vlan_id=101, pcp=5, dei=True)
+        assert tag.tci == (5 << 13) | (1 << 12) | 101
+
+    def test_tci_round_trip(self):
+        tag = Dot1QTag(vlan_id=4001, pcp=7, dei=False)
+        assert Dot1QTag.from_tci(tag.tci) == tag
+
+    def test_vlan_id_range(self):
+        with pytest.raises(ValueError):
+            Dot1QTag(vlan_id=4096)
+        with pytest.raises(ValueError):
+            Dot1QTag(vlan_id=-1)
+
+    def test_pcp_range(self):
+        with pytest.raises(ValueError):
+            Dot1QTag(vlan_id=1, pcp=8)
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_from_tci_total(self, tci):
+        tag = Dot1QTag.from_tci(tci)
+        assert tag.tci == tci
+
+
+class TestEthernetFrame:
+    def test_untagged_wire_format(self):
+        frame = make_frame(payload=b"\x01\x02")
+        raw = frame.to_bytes()
+        assert raw[:6] == MAC_B.packed
+        assert raw[6:12] == MAC_A.packed
+        assert raw[12:14] == b"\x08\x00"
+        assert raw[14:] == b"\x01\x02"
+
+    def test_untagged_round_trip(self):
+        frame = make_frame(payload=b"payload-bytes")
+        parsed = EthernetFrame.from_bytes(frame.to_bytes())
+        assert parsed == frame
+
+    def test_single_tag_round_trip(self):
+        frame = make_frame().push_vlan(101)
+        parsed = EthernetFrame.from_bytes(frame.to_bytes())
+        assert parsed.vlan_id == 101
+        assert parsed == frame
+
+    def test_single_tag_uses_8100_tpid(self):
+        raw = make_frame().push_vlan(101).to_bytes()
+        assert raw[12:14] == b"\x81\x00"
+
+    def test_qinq_outer_tpid_is_88a8(self):
+        raw = make_frame().push_vlan(101).push_vlan(200).to_bytes()
+        assert raw[12:14] == b"\x88\xa8"
+        assert raw[16:18] == b"\x81\x00"
+
+    def test_qinq_round_trip(self):
+        frame = make_frame().push_vlan(101).push_vlan(200)
+        parsed = EthernetFrame.from_bytes(frame.to_bytes())
+        assert [tag.vlan_id for tag in parsed.tags] == [200, 101]
+        assert parsed == frame
+
+    def test_push_then_pop_is_identity(self):
+        frame = make_frame()
+        assert frame.push_vlan(300).pop_vlan() == frame
+
+    def test_pop_untagged_raises(self):
+        with pytest.raises(ValueError):
+            make_frame().pop_vlan()
+
+    def test_set_vlan_rewrites_outer_only(self):
+        frame = make_frame().push_vlan(101).push_vlan(200)
+        rewritten = frame.set_vlan(999)
+        assert rewritten.vlan_id == 999
+        assert rewritten.tags[1].vlan_id == 101
+
+    def test_set_vlan_untagged_raises(self):
+        with pytest.raises(ValueError):
+            make_frame().set_vlan(5)
+
+    def test_push_does_not_mutate_original(self):
+        frame = make_frame()
+        frame.push_vlan(10)
+        assert frame.tags == []
+
+    def test_vlan_property_none_when_untagged(self):
+        assert make_frame().vlan is None
+        assert make_frame().vlan_id is None
+
+    def test_wire_length_pads_to_minimum(self):
+        assert make_frame(payload=b"x").wire_length == 60
+        assert make_frame(payload=b"x" * 100).wire_length == 114
+
+    def test_wire_length_accounts_for_tags(self):
+        tagged = make_frame(payload=b"x").push_vlan(1)
+        assert tagged.wire_length == 64
+
+    def test_truncated_frame_raises(self):
+        with pytest.raises(PacketDecodeError):
+            EthernetFrame.from_bytes(b"\x00" * 13)
+
+    def test_truncated_tag_raises(self):
+        raw = MAC_B.packed + MAC_A.packed + b"\x81\x00\x00"
+        with pytest.raises(PacketDecodeError):
+            EthernetFrame.from_bytes(raw)
+
+    def test_copy_is_independent(self):
+        frame = make_frame(tags=[Dot1QTag(5)])
+        clone = frame.copy()
+        clone.tags.append(Dot1QTag(6))
+        assert len(frame.tags) == 1
+
+    def test_rejects_bad_ethertype(self):
+        with pytest.raises(ValueError):
+            EthernetFrame(dst=MAC_A, src=MAC_B, ethertype=0x10000)
+
+    def test_rejects_non_bytes_payload(self):
+        with pytest.raises(TypeError):
+            EthernetFrame(dst=MAC_A, src=MAC_B, ethertype=ETHERTYPE_ARP, payload="str")
+
+    def test_str_mentions_vlan(self):
+        assert "vlan 42" in str(make_frame().push_vlan(42))
+
+
+macs = st.integers(min_value=0, max_value=(1 << 48) - 1).map(MACAddress)
+vlan_ids = st.integers(min_value=1, max_value=4094)
+tags = st.builds(
+    Dot1QTag,
+    vlan_id=vlan_ids,
+    pcp=st.integers(min_value=0, max_value=7),
+    dei=st.booleans(),
+)
+frames = st.builds(
+    EthernetFrame,
+    dst=macs,
+    src=macs,
+    ethertype=st.integers(min_value=0x0600, max_value=0xFFFF).filter(
+        lambda v: v not in (0x8100, 0x88A8)
+    ),
+    payload=st.binary(max_size=256),
+    tags=st.lists(tags, max_size=3),
+)
+
+
+class TestEthernetProperties:
+    @given(frames)
+    def test_serialise_parse_round_trip(self, frame):
+        assert EthernetFrame.from_bytes(frame.to_bytes()) == frame
+
+    @given(frames, vlan_ids)
+    def test_push_pop_identity(self, frame, vlan_id):
+        assert frame.push_vlan(vlan_id).pop_vlan() == frame
+
+    @given(frames, vlan_ids)
+    def test_push_sets_outer_vlan(self, frame, vlan_id):
+        assert frame.push_vlan(vlan_id).vlan_id == vlan_id
+
+    @given(frames)
+    def test_wire_length_lower_bound(self, frame):
+        assert frame.wire_length >= len(frame.to_bytes())
+        assert frame.wire_length >= 60

@@ -1,0 +1,330 @@
+"""Tests for the discrete-event loop, nodes and links."""
+
+import pytest
+
+from repro.net import EthernetFrame, MACAddress
+from repro.netsim import Capture, Link, Node, Port, Simulator
+from repro.netsim.link import wire
+
+
+class Sink(Node):
+    """A node that just records what it receives."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, port, frame):
+        self.received.append((self.sim.now, port.number, frame))
+
+
+def make_frame(payload=b"x" * 100):
+    return EthernetFrame(
+        dst=MACAddress(2), src=MACAddress(1), ethertype=0x0800, payload=payload
+    )
+
+
+class TestSimulator:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_are_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.25, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.25]
+        assert sim.now == 0.25
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        processed = sim.run(until=2.0)
+        assert processed == 1
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("cancelled"))
+        sim.schedule(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        sim.run()
+        assert fired == ["kept"]
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 3:
+                sim.schedule(0.1, lambda: chain(depth + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.0, forever)
+        processed = sim.run(max_events=50)
+        assert processed == 50
+
+    def test_run_until_idle_raises_on_runaway(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.001, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run_until_idle(max_events=100)
+
+    def test_pending_events_counts_live_only(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 1
+
+
+class TestNodePorts:
+    def test_auto_numbering_starts_at_one(self):
+        sim = Simulator()
+        node = Sink(sim, "s")
+        assert node.add_port().number == 1
+        assert node.add_port().number == 2
+
+    def test_explicit_number(self):
+        node = Sink(Simulator(), "s")
+        assert node.add_port(7).number == 7
+        assert node.add_port().number == 8
+
+    def test_duplicate_number_rejected(self):
+        node = Sink(Simulator(), "s")
+        node.add_port(1)
+        with pytest.raises(ValueError):
+            node.add_port(1)
+
+    def test_port_lookup_error_names_node(self):
+        node = Sink(Simulator(), "switch9")
+        with pytest.raises(KeyError, match="switch9"):
+            node.port(3)
+
+    def test_iter_ports_sorted(self):
+        node = Sink(Simulator(), "s")
+        node.add_port(5)
+        node.add_port(2)
+        node.add_port(9)
+        assert [p.number for p in node.iter_ports()] == [2, 5, 9]
+
+    def test_send_on_dangling_port_drops(self):
+        node = Sink(Simulator(), "s")
+        port = node.add_port()
+        assert port.send(make_frame()) is False
+        assert port.tx_dropped == 1
+
+
+class TestLink:
+    def make_pair(self, **kwargs):
+        sim = Simulator()
+        a = Sink(sim, "a")
+        b = Sink(sim, "b")
+        link = wire(a, b, **kwargs)
+        return sim, a, b, link
+
+    def test_frame_delivered(self):
+        sim, a, b, _ = self.make_pair()
+        a.port(1).send(make_frame())
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_delivery_time_includes_serialization_and_propagation(self):
+        sim, a, b, link = self.make_pair(
+            bandwidth_bps=1_000_000_000, propagation_delay_s=10e-6
+        )
+        frame = make_frame(payload=b"z" * 986)  # 1000B on the wire
+        a.port(1).send(frame)
+        sim.run()
+        arrival_time = b.received[0][0]
+        assert arrival_time == pytest.approx(1000 * 8 / 1e9 + 10e-6)
+
+    def test_ideal_link_has_no_serialization(self):
+        sim, a, b, _ = self.make_pair(bandwidth_bps=None, propagation_delay_s=1e-9)
+        a.port(1).send(make_frame(payload=b"z" * 1400))
+        sim.run()
+        assert b.received[0][0] == pytest.approx(1e-9)
+
+    def test_back_to_back_frames_queue_behind_each_other(self):
+        sim, a, b, link = self.make_pair(
+            bandwidth_bps=8_000_000, propagation_delay_s=0.0
+        )  # 1 byte/us
+        frame = make_frame(payload=b"z" * 86)  # 100B -> 100us each
+        a.port(1).send(frame)
+        a.port(1).send(frame)
+        sim.run()
+        times = [t for t, _, _ in b.received]
+        assert times[0] == pytest.approx(100e-6)
+        assert times[1] == pytest.approx(200e-6)
+
+    def test_full_duplex_no_interference(self):
+        sim, a, b, link = self.make_pair(
+            bandwidth_bps=8_000_000, propagation_delay_s=0.0
+        )
+        frame = make_frame(payload=b"z" * 86)
+        a.port(1).send(frame)
+        b.port(1).send(frame)
+        sim.run()
+        assert a.received[0][0] == pytest.approx(100e-6)
+        assert b.received[0][0] == pytest.approx(100e-6)
+
+    def test_queue_overflow_drops(self):
+        sim, a, b, link = self.make_pair(
+            bandwidth_bps=8_000_000, propagation_delay_s=0.0, queue_frames=2
+        )
+        for _ in range(5):
+            a.port(1).send(make_frame())
+        sim.run()
+        assert len(b.received) == 2
+        assert link.stats(a.port(1)).drops == 3
+
+    def test_stats_track_frames_and_bytes(self):
+        sim, a, b, link = self.make_pair()
+        frame = make_frame()
+        a.port(1).send(frame)
+        sim.run()
+        stats = link.stats(a.port(1))
+        assert stats.frames == 1
+        assert stats.bytes == frame.wire_length
+
+    def test_port_down_drops_tx(self):
+        sim, a, b, _ = self.make_pair()
+        a.port(1).up = False
+        assert a.port(1).send(make_frame()) is False
+        sim.run()
+        assert b.received == []
+
+    def test_port_down_drops_rx(self):
+        sim, a, b, _ = self.make_pair()
+        b.port(1).up = False
+        a.port(1).send(make_frame())
+        sim.run()
+        assert b.received == []
+        assert b.port(1).rx_frames == 0
+
+    def test_double_wire_rejected(self):
+        sim = Simulator()
+        a, b, c = Sink(sim, "a"), Sink(sim, "b"), Sink(sim, "c")
+        link = wire(a, b)
+        with pytest.raises(ValueError):
+            Link(a.port(1), c.add_port())
+
+    def test_self_wire_rejected(self):
+        sim = Simulator()
+        a = Sink(sim, "a")
+        port = a.add_port()
+        with pytest.raises(ValueError):
+            Link(port, port)
+
+    def test_peer_property(self):
+        sim, a, b, _ = self.make_pair()
+        assert a.port(1).peer is b.port(1)
+        assert b.port(1).peer is a.port(1)
+
+    def test_utilization(self):
+        sim, a, b, link = self.make_pair(
+            bandwidth_bps=8_000_000, propagation_delay_s=0.0
+        )
+        frame = make_frame(payload=b"z" * 86)  # 100us at 1B/us
+        a.port(1).send(frame)
+        sim.run()
+        assert link.utilization(a.port(1), elapsed=200e-6) == pytest.approx(0.5)
+
+
+class TestCapture:
+    def test_records_both_directions(self):
+        sim = Simulator()
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        link = wire(a, b)
+        capture = Capture("test").attach(a.port(1), b.port(1))
+        a.port(1).send(make_frame())
+        sim.run()
+        directions = [(entry.port_name, entry.direction) for entry in capture]
+        assert ("a:1", "tx") in directions
+        assert ("b:1", "rx") in directions
+
+    def test_filter(self):
+        sim = Simulator()
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        wire(a, b)
+        capture = Capture("vlan-only", filter_fn=lambda f: f.vlan_id == 101)
+        capture.attach(a.port(1))
+        a.port(1).send(make_frame())
+        a.port(1).send(make_frame().push_vlan(101))
+        sim.run()
+        assert len(capture) == 1
+
+    def test_max_entries(self):
+        sim = Simulator()
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        wire(a, b)
+        capture = Capture("small", max_entries=2).attach(a.port(1))
+        for _ in range(5):
+            a.port(1).send(make_frame())
+        sim.run()
+        assert len(capture) == 2
+        assert capture.dropped == 3
+
+    def test_format_trace_mentions_frames(self):
+        sim = Simulator()
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        wire(a, b)
+        capture = Capture("t").attach(a.port(1))
+        a.port(1).send(make_frame())
+        sim.run()
+        text = capture.format_trace()
+        assert "capture t" in text
+        assert "tx" in text

@@ -1,0 +1,179 @@
+"""Tests for OXM matches and packet views."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import IPv4Address, MACAddress, TcpSegment
+from repro.net.build import tcp_frame, udp_frame
+from repro.openflow import Match, OFPVID_PRESENT, PacketView
+from repro.openflow.match import OXM_FIELDS, MatchField
+
+MAC_A = MACAddress("02:00:00:00:00:01")
+MAC_B = MACAddress("02:00:00:00:00:02")
+IP_A = IPv4Address("10.0.0.1")
+IP_B = IPv4Address("10.1.2.3")
+
+
+def view_of(frame, in_port=1):
+    return PacketView(frame, in_port=in_port)
+
+
+def sample_udp(vlan_id=None):
+    return udp_frame(MAC_A, MAC_B, IP_A, IP_B, 1234, 53, b"x", vlan_id=vlan_id)
+
+
+class TestPacketView:
+    def test_ethernet_fields(self):
+        view = view_of(sample_udp(), in_port=7)
+        assert view.get("in_port") == 7
+        assert view.get("eth_src") == int(MAC_A)
+        assert view.get("eth_dst") == int(MAC_B)
+        assert view.get("eth_type") == 0x0800
+
+    def test_vlan_semantics(self):
+        assert view_of(sample_udp()).get("vlan_vid") == 0
+        assert view_of(sample_udp(vlan_id=101)).get("vlan_vid") == OFPVID_PRESENT | 101
+
+    def test_l3_l4_fields(self):
+        view = view_of(sample_udp())
+        assert view.get("ipv4_src") == int(IP_A)
+        assert view.get("ipv4_dst") == int(IP_B)
+        assert view.get("ip_proto") == 17
+        assert view.get("udp_src") == 1234
+        assert view.get("udp_dst") == 53
+        assert view.get("tcp_dst") is None
+
+    def test_tcp_fields(self):
+        frame = tcp_frame(MAC_A, MAC_B, IP_A, IP_B, TcpSegment(4000, 80))
+        view = view_of(frame)
+        assert view.get("tcp_src") == 4000
+        assert view.get("tcp_dst") == 80
+        assert view.get("udp_dst") is None
+
+    def test_non_ip_frame_has_no_l3(self):
+        from repro.net import EthernetFrame
+
+        frame = EthernetFrame(dst=MAC_B, src=MAC_A, ethertype=0x88CC, payload=b"lldp")
+        view = view_of(frame)
+        assert view.get("ipv4_src") is None
+        assert view.get("ip_proto") is None
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(KeyError):
+            view_of(sample_udp()).get("mpls_label")
+
+
+class TestMatch:
+    def test_empty_match_matches_everything(self):
+        assert Match().matches(view_of(sample_udp()))
+
+    def test_exact_field(self):
+        assert Match(eth_type=0x0800).matches(view_of(sample_udp()))
+        assert not Match(eth_type=0x0806).matches(view_of(sample_udp()))
+
+    def test_in_port(self):
+        assert Match(in_port=3).matches(view_of(sample_udp(), in_port=3))
+        assert not Match(in_port=3).matches(view_of(sample_udp(), in_port=4))
+
+    def test_mac_accepts_string(self):
+        match = Match(eth_src="02:00:00:00:00:01")
+        assert match.matches(view_of(sample_udp()))
+
+    def test_ipv4_masked_match(self):
+        match = Match(eth_type=0x0800, ipv4_dst=("10.1.0.0", "255.255.0.0"))
+        assert match.matches(view_of(sample_udp()))
+        miss = Match(eth_type=0x0800, ipv4_dst=("10.2.0.0", "255.255.0.0"))
+        assert not miss.matches(view_of(sample_udp()))
+
+    def test_vlan_helpers(self):
+        tagged = view_of(sample_udp(vlan_id=101))
+        untagged = view_of(sample_udp())
+        assert Match.vlan(101).matches(tagged)
+        assert not Match.vlan(102).matches(tagged)
+        assert not Match.vlan(101).matches(untagged)
+        assert Match.untagged().matches(untagged)
+        assert not Match.untagged().matches(tagged)
+
+    def test_missing_field_never_matches(self):
+        # TCP port match on a UDP packet.
+        assert not Match(tcp_dst=80).matches(view_of(sample_udp()))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            Match(frobnitz=1)
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Match(eth_type=0x10000)
+
+    def test_subset_relation(self):
+        broad = Match(eth_type=0x0800)
+        narrow = Match(eth_type=0x0800, ipv4_dst="10.1.2.3")
+        assert narrow.is_subset_of(broad)
+        assert not broad.is_subset_of(narrow)
+        assert narrow.is_subset_of(Match())
+
+    def test_subset_with_masks(self):
+        slash16 = Match(ipv4_dst=("10.1.0.0", "255.255.0.0"))
+        slash24 = Match(ipv4_dst=("10.1.2.0", "255.255.255.0"))
+        assert slash24.is_subset_of(slash16)
+        assert not slash16.is_subset_of(slash24)
+
+    def test_describe_readable(self):
+        text = Match.vlan(101, in_port=2).describe()
+        assert "vlan=101" in text
+        assert "in_port=2" in text
+        assert Match().describe() == "*"
+
+    def test_equality_and_hash(self):
+        assert Match(eth_type=0x0800) == Match(eth_type=0x0800)
+        assert hash(Match(in_port=1)) == hash(Match(in_port=1))
+        assert Match(in_port=1) != Match(in_port=2)
+
+
+class TestMatchWire:
+    def test_round_trip_simple(self):
+        match = Match(in_port=3, eth_type=0x0800)
+        raw = match.to_bytes()
+        parsed, consumed = Match.from_bytes(raw)
+        assert parsed == match
+        assert consumed == len(raw)
+
+    def test_round_trip_masked(self):
+        match = Match(ipv4_dst=("10.0.0.0", "255.0.0.0"), eth_type=0x0800)
+        parsed, _ = Match.from_bytes(match.to_bytes())
+        assert parsed == match
+
+    def test_padding_to_8(self):
+        assert len(Match(in_port=1).to_bytes()) % 8 == 0
+        assert len(Match().to_bytes()) % 8 == 0
+
+    def test_empty_match_wire(self):
+        parsed, _ = Match.from_bytes(Match().to_bytes())
+        assert parsed == Match()
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(sorted(OXM_FIELDS)),
+            st.integers(min_value=0, max_value=0xFF),
+            max_size=5,
+        )
+    )
+    def test_round_trip_property(self, fields):
+        match = Match(**fields)
+        parsed, consumed = Match.from_bytes(match.to_bytes())
+        assert parsed == match
+        assert consumed == len(match.to_bytes())
+
+
+class TestMatchField:
+    def test_effective_mask_defaults_to_full_width(self):
+        assert MatchField("eth_type", 0x0800).effective_mask == 0xFFFF
+        assert MatchField("ipv4_src", 0).effective_mask == 0xFFFFFFFF
+
+    def test_covers(self):
+        constraint = MatchField("ipv4_dst", 0x0A000000, 0xFF000000)
+        assert constraint.covers(0x0A636363)
+        assert not constraint.covers(0x0B000000)
+        assert not constraint.covers(None)

@@ -1,0 +1,317 @@
+"""Wire-format round-trip tests for OpenFlow messages."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.openflow import (
+    ApplyActions,
+    BarrierReply,
+    BarrierRequest,
+    Bucket,
+    ClearActions,
+    EchoReply,
+    EchoRequest,
+    ErrorMsg,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowRemoved,
+    FlowStatsEntry,
+    FlowStatsReply,
+    FlowStatsRequest,
+    GotoTable,
+    GroupAction,
+    GroupMod,
+    Hello,
+    Match,
+    OFP_VERSION,
+    OFPP_CONTROLLER,
+    OutputAction,
+    PacketIn,
+    PacketOut,
+    PopVlanAction,
+    PortStatsEntry,
+    PortStatsReply,
+    PortStatsRequest,
+    PushVlanAction,
+    SetFieldAction,
+    WriteActions,
+    parse_message,
+)
+from repro.openflow import consts as c
+
+
+def round_trip(message):
+    raw = message.to_bytes()
+    parsed = parse_message(raw)
+    assert type(parsed) is type(message)
+    return parsed, raw
+
+
+class TestHeader:
+    def test_header_layout(self):
+        raw = Hello(xid=0x1234).to_bytes()
+        version, msg_type, length, xid = struct.unpack_from("!BBHI", raw)
+        assert version == OFP_VERSION
+        assert msg_type == 0
+        assert length == len(raw) == 8
+        assert xid == 0x1234
+
+    def test_bad_version_rejected(self):
+        raw = bytearray(Hello().to_bytes())
+        raw[0] = 0x01
+        with pytest.raises(ValueError):
+            parse_message(bytes(raw))
+
+    def test_length_mismatch_rejected(self):
+        raw = Hello().to_bytes() + b"trailing"
+        with pytest.raises(ValueError):
+            parse_message(raw)
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            parse_message(b"\x04\x00")
+
+
+class TestSimpleMessages:
+    def test_hello(self):
+        parsed, _ = round_trip(Hello(xid=9))
+        assert parsed.xid == 9
+
+    def test_echo_carries_payload(self):
+        parsed, _ = round_trip(EchoRequest(xid=1, payload=b"ping!"))
+        assert parsed.payload == b"ping!"
+        parsed, _ = round_trip(EchoReply(xid=1, payload=b"pong!"))
+        assert parsed.payload == b"pong!"
+
+    def test_error(self):
+        parsed, _ = round_trip(ErrorMsg(xid=2, error_type=3, code=7, data=b"ctx"))
+        assert (parsed.error_type, parsed.code, parsed.data) == (3, 7, b"ctx")
+
+    def test_features(self):
+        round_trip(FeaturesRequest(xid=5))
+        parsed, _ = round_trip(
+            FeaturesReply(xid=5, datapath_id=0xAABBCCDD, n_buffers=256, n_tables=4)
+        )
+        assert parsed.datapath_id == 0xAABBCCDD
+        assert parsed.n_tables == 4
+
+    def test_barrier(self):
+        round_trip(BarrierRequest(xid=1))
+        round_trip(BarrierReply(xid=1))
+
+
+class TestFlowMod:
+    def test_full_round_trip(self):
+        message = FlowMod(
+            xid=42,
+            match=Match.vlan(101, in_port=1),
+            instructions=[
+                ApplyActions(
+                    actions=(
+                        PopVlanAction(),
+                        OutputAction(port=3),
+                    )
+                ),
+                GotoTable(table_id=1),
+            ],
+            priority=2000,
+            table_id=0,
+            cookie=0xDEADBEEF,
+            idle_timeout=30,
+            hard_timeout=300,
+        )
+        parsed, _ = round_trip(message)
+        assert parsed.match == message.match
+        assert parsed.priority == 2000
+        assert parsed.cookie == 0xDEADBEEF
+        assert parsed.idle_timeout == 30
+        assert len(parsed.instructions) == 2
+        apply_instr = parsed.instructions[0]
+        assert isinstance(apply_instr, ApplyActions)
+        assert isinstance(apply_instr.actions[0], PopVlanAction)
+        assert apply_instr.actions[1] == OutputAction(port=3)
+        assert parsed.instructions[1] == GotoTable(table_id=1)
+
+    def test_delete_command(self):
+        message = FlowMod(command=c.OFPFC_DELETE, match=Match(eth_type=0x0800))
+        parsed, _ = round_trip(message)
+        assert parsed.command == c.OFPFC_DELETE
+
+    def test_set_field_action(self):
+        message = FlowMod(
+            instructions=[
+                ApplyActions(
+                    actions=(
+                        PushVlanAction(),
+                        SetFieldAction.vlan_vid(102),
+                        OutputAction(port=24),
+                    )
+                )
+            ]
+        )
+        parsed, _ = round_trip(message)
+        actions = parsed.instructions[0].actions
+        assert isinstance(actions[1], SetFieldAction)
+        assert actions[1].field == "vlan_vid"
+        assert actions[1].value & 0xFFF == 102
+
+    def test_write_and_clear_instructions(self):
+        message = FlowMod(
+            instructions=[
+                ClearActions(),
+                WriteActions(actions=(OutputAction(port=1),)),
+            ]
+        )
+        parsed, _ = round_trip(message)
+        assert isinstance(parsed.instructions[0], ClearActions)
+        assert isinstance(parsed.instructions[1], WriteActions)
+
+
+class TestPacketInOut:
+    def test_packet_in(self):
+        message = PacketIn(
+            xid=7,
+            reason=c.OFPR_NO_MATCH,
+            table_id=0,
+            cookie=1,
+            match=Match(in_port=4),
+            data=b"\x01\x02\x03\x04",
+        )
+        parsed, _ = round_trip(message)
+        assert parsed.in_port == 4
+        assert parsed.data == b"\x01\x02\x03\x04"
+        assert parsed.reason == c.OFPR_NO_MATCH
+
+    def test_packet_out(self):
+        message = PacketOut(
+            xid=8,
+            in_port=OFPP_CONTROLLER,
+            actions=[OutputAction(port=2)],
+            data=b"payload-bytes",
+        )
+        parsed, _ = round_trip(message)
+        assert parsed.actions == [OutputAction(port=2)]
+        assert parsed.data == b"payload-bytes"
+
+    def test_packet_out_no_actions_means_drop(self):
+        parsed, _ = round_trip(PacketOut(xid=1, data=b"x"))
+        assert parsed.actions == []
+
+
+class TestGroupMod:
+    def test_select_group_round_trip(self):
+        message = GroupMod(
+            xid=3,
+            command=c.OFPGC_ADD,
+            group_type=c.OFPGT_SELECT,
+            group_id=50,
+            buckets=[
+                Bucket(actions=[OutputAction(port=1)], weight=10),
+                Bucket(actions=[OutputAction(port=2)], weight=20),
+            ],
+        )
+        parsed, _ = round_trip(message)
+        assert parsed.group_id == 50
+        assert [bucket.weight for bucket in parsed.buckets] == [10, 20]
+        assert parsed.buckets[1].actions == [OutputAction(port=2)]
+
+    def test_bucket_with_multiple_actions(self):
+        bucket = Bucket(
+            actions=[PushVlanAction(), SetFieldAction.vlan_vid(7), OutputAction(port=9)]
+        )
+        message = GroupMod(buckets=[bucket])
+        parsed, _ = round_trip(message)
+        assert len(parsed.buckets[0].actions) == 3
+
+
+class TestFlowRemoved:
+    def test_round_trip(self):
+        message = FlowRemoved(
+            xid=11,
+            match=Match(eth_type=0x0806),
+            cookie=5,
+            priority=100,
+            reason=c.OFPRR_IDLE_TIMEOUT,
+            packet_count=42,
+            byte_count=4200,
+        )
+        parsed, _ = round_trip(message)
+        assert parsed.packet_count == 42
+        assert parsed.match == Match(eth_type=0x0806)
+
+
+class TestStats:
+    def test_flow_stats_request(self):
+        parsed, _ = round_trip(FlowStatsRequest(xid=1, table_id=2, match=Match(in_port=1)))
+        assert parsed.table_id == 2
+        assert parsed.match == Match(in_port=1)
+
+    def test_flow_stats_reply(self):
+        message = FlowStatsReply(
+            xid=2,
+            entries=[
+                FlowStatsEntry(
+                    table_id=0,
+                    priority=10,
+                    packet_count=5,
+                    byte_count=500,
+                    match=Match.vlan(101),
+                ),
+                FlowStatsEntry(table_id=1, priority=20, match=Match()),
+            ],
+        )
+        parsed, _ = round_trip(message)
+        assert len(parsed.entries) == 2
+        assert parsed.entries[0].packet_count == 5
+        assert parsed.entries[0].match == Match.vlan(101)
+
+    def test_port_stats(self):
+        message = PortStatsReply(
+            xid=3,
+            entries=[
+                PortStatsEntry(port_no=1, rx_packets=10, tx_packets=20, rx_bytes=1000)
+            ],
+        )
+        parsed, _ = round_trip(message)
+        assert parsed.entries[0].tx_packets == 20
+        request, _ = round_trip(PortStatsRequest(xid=4, port_no=7))
+        assert request.port_no == 7
+
+
+ACTION_STRATEGY = st.one_of(
+    st.builds(OutputAction, port=st.integers(min_value=1, max_value=1000)),
+    st.just(PopVlanAction()),
+    st.just(PushVlanAction()),
+    st.builds(
+        SetFieldAction.vlan_vid, st.integers(min_value=1, max_value=4094)
+    ),
+    st.builds(GroupAction, group_id=st.integers(min_value=0, max_value=1 << 31)),
+)
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.lists(ACTION_STRATEGY, max_size=4),
+        st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_flowmod_round_trip(self, xid, actions, priority):
+        message = FlowMod(
+            xid=xid,
+            priority=priority,
+            instructions=[ApplyActions(actions=tuple(actions))],
+        )
+        parsed = parse_message(message.to_bytes())
+        assert parsed.xid == xid
+        assert parsed.priority == priority
+        assert list(parsed.instructions[0].actions) == list(actions)
+
+    @given(st.binary(max_size=64), st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_packet_out_round_trip(self, data, xid):
+        message = PacketOut(xid=xid, actions=[OutputAction(port=1)], data=data)
+        parsed = parse_message(message.to_bytes())
+        assert parsed.data == data

@@ -1,0 +1,209 @@
+"""Tests for the BRIDGE/Q-BRIDGE MIB adapter over the legacy switch."""
+
+import pytest
+
+from repro.legacy import LegacySwitch, PortMode
+from repro.net import IPv4Address, MACAddress
+from repro.netsim import Host, Link, Simulator
+from repro.snmp import SnmpAgent, SnmpClient, attach_bridge_mib
+from repro.snmp.bridge_mib import (
+    DOT1Q_PORT_VLAN_ENTRY,
+    DOT1Q_VLAN_STATIC_ENTRY,
+    IF_TABLE_ENTRY,
+    ROW_CREATE_AND_GO,
+    ROW_DESTROY,
+    VLAN_EGRESS,
+    VLAN_ROW_STATUS,
+    VLAN_UNTAGGED,
+    portlist_from_bytes,
+    portlist_to_bytes,
+)
+
+
+def build(num_ports=8):
+    sim = Simulator()
+    switch = LegacySwitch(sim, "sw1", num_ports=num_ports, processing_delay_s=0.0)
+    mib, adapter = attach_bridge_mib(switch)
+    agent = SnmpAgent(mib, read_community="public", write_community="private")
+    client = SnmpClient(agent, community="private")
+    return sim, switch, client
+
+
+class TestPortList:
+    def test_port1_is_high_bit(self):
+        assert portlist_to_bytes({1}, 8) == b"\x80"
+
+    def test_port8_is_low_bit(self):
+        assert portlist_to_bytes({8}, 8) == b"\x01"
+
+    def test_port9_starts_second_octet(self):
+        assert portlist_to_bytes({9}, 16) == b"\x00\x80"
+
+    def test_round_trip(self):
+        ports = {1, 3, 8, 9, 24}
+        assert portlist_from_bytes(portlist_to_bytes(ports, 24)) == ports
+
+    def test_out_of_width_rejected(self):
+        with pytest.raises(ValueError):
+            portlist_to_bytes({9}, 8)
+
+    def test_empty(self):
+        assert portlist_from_bytes(portlist_to_bytes(set(), 8)) == set()
+
+
+class TestSystemGroup:
+    def test_sysname_read_write(self):
+        _, switch, client = build()
+        assert client.get("1.3.6.1.2.1.1.5.0") == "sw1"
+        client.set("1.3.6.1.2.1.1.5.0", "renamed")
+        assert switch.config.hostname == "renamed"
+
+    def test_sysdescr_mentions_ports(self):
+        _, _, client = build(num_ports=12)
+        assert "12 ports" in client.get("1.3.6.1.2.1.1.1.0")
+
+
+class TestIfTable:
+    def test_walk_lists_every_port(self):
+        _, _, client = build(num_ports=4)
+        rows = client.table_rows(IF_TABLE_ENTRY)
+        if_indices = [suffix[1] for suffix in rows if suffix[0] == 1]
+        assert if_indices == [1, 2, 3, 4]
+
+    def test_oper_status_reflects_wiring(self):
+        sim, switch, client = build(num_ports=2)
+        host = Host(sim, "h", MACAddress(0x02AA), IPv4Address("10.0.0.1"))
+        Link(host.port0, switch.port(1))
+        rows = client.table_rows(IF_TABLE_ENTRY)
+        assert rows[(8, 1)] == 1  # wired -> up
+        assert rows[(8, 2)] == 2  # dangling -> down
+
+    def test_admin_down_via_set(self):
+        _, switch, client = build()
+        client.set(IF_TABLE_ENTRY.child(7, 3), 2)
+        assert not switch.config.port(3).enabled
+        client.set(IF_TABLE_ENTRY.child(7, 3), 1)
+        assert switch.config.port(3).enabled
+
+    def test_octet_counters_grow(self):
+        sim, switch, client = build(num_ports=2)
+        h1 = Host(sim, "h1", MACAddress(0x02AA), IPv4Address("10.0.0.1"))
+        h2 = Host(sim, "h2", MACAddress(0x02BB), IPv4Address("10.0.0.2"))
+        Link(h1.port0, switch.port(1))
+        Link(h2.port0, switch.port(2))
+        h1.ping(h2.ip)
+        sim.run(until=0.5)
+        rows = client.table_rows(IF_TABLE_ENTRY)
+        assert rows[(10, 1)] > 0  # ifInOctets port 1
+        assert rows[(16, 2)] > 0  # ifOutOctets port 2
+
+
+class TestFdbTable:
+    def test_learned_entries_visible(self):
+        sim, switch, client = build(num_ports=2)
+        h1 = Host(sim, "h1", MACAddress(0x02AA), IPv4Address("10.0.0.1"))
+        h2 = Host(sim, "h2", MACAddress(0x02BB), IPv4Address("10.0.0.2"))
+        Link(h1.port0, switch.port(1))
+        Link(h2.port0, switch.port(2))
+        h1.ping(h2.ip)
+        sim.run(until=0.5)
+        rows = client.table_rows("1.3.6.1.2.1.17.7.1.2.2.1")
+        port_rows = {
+            suffix: value for suffix, value in rows.items() if suffix[0] == 2
+        }
+        learned_macs = {bytes(suffix[2:8]) for suffix in port_rows}
+        assert h1.mac.packed in learned_macs
+        assert h2.mac.packed in learned_macs
+
+
+class TestVlanConfigViaSnmp:
+    def test_create_vlan(self):
+        _, switch, client = build()
+        client.set(DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_ROW_STATUS, 101), ROW_CREATE_AND_GO)
+        assert 101 in switch.config.vlans
+
+    def test_destroy_vlan(self):
+        _, switch, client = build()
+        client.set(DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_ROW_STATUS, 101), ROW_CREATE_AND_GO)
+        client.set(DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_ROW_STATUS, 101), ROW_DESTROY)
+        assert 101 not in switch.config.vlans
+
+    def test_make_access_port_via_membership(self):
+        """Setting egress+untagged for a port makes it an access port."""
+        _, switch, client = build(num_ports=8)
+        client.set(DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_ROW_STATUS, 101), ROW_CREATE_AND_GO)
+        client.set(
+            DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_UNTAGGED, 101),
+            portlist_to_bytes({3}, 8),
+        )
+        port = switch.config.port(3)
+        assert port.mode is PortMode.ACCESS
+        assert port.pvid == 101
+
+    def test_make_trunk_port_via_membership(self):
+        """Tagged (egress-not-untagged) membership makes a trunk."""
+        _, switch, client = build(num_ports=8)
+        for vlan in (101, 102):
+            client.set(
+                DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_ROW_STATUS, vlan), ROW_CREATE_AND_GO
+            )
+            client.set(
+                DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_EGRESS, vlan),
+                portlist_to_bytes({8}, 8),
+            )
+        port = switch.config.port(8)
+        assert port.mode is PortMode.TRUNK
+        assert port.allowed_vlans == {101, 102}
+
+    def test_pvid_read(self):
+        _, switch, client = build()
+        config = switch.config.copy()
+        config.set_access(2, 77)
+        switch.apply_config(config)
+        rows = client.table_rows(DOT1Q_PORT_VLAN_ENTRY)
+        assert rows[(1, 2)] == 77
+
+    def test_pvid_write(self):
+        _, switch, client = build()
+        client.set(DOT1Q_PORT_VLAN_ENTRY.child(1, 4), 55)
+        assert switch.config.port(4).pvid == 55
+        assert 55 in switch.config.vlans
+
+    def test_untagged_membership_moves_port(self):
+        """Untagged membership in a new VLAN moves the port (access semantics)."""
+        _, switch, client = build(num_ports=8)
+        client.set(DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_ROW_STATUS, 101), ROW_CREATE_AND_GO)
+        client.set(
+            DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_UNTAGGED, 101),
+            portlist_to_bytes({3}, 8),
+        )
+        client.set(DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_ROW_STATUS, 102), ROW_CREATE_AND_GO)
+        client.set(
+            DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_UNTAGGED, 102),
+            portlist_to_bytes({3}, 8),
+        )
+        port = switch.config.port(3)
+        assert port.mode is PortMode.ACCESS
+        assert port.pvid == 102
+        assert 3 not in switch.config.ports_in_vlan(101)
+
+    def test_traffic_respects_snmp_pushed_vlans(self):
+        """End to end: configure isolation via SNMP, verify in data plane."""
+        sim, switch, client = build(num_ports=8)
+        h1 = Host(sim, "h1", MACAddress(0x02AA), IPv4Address("10.0.0.1"))
+        h2 = Host(sim, "h2", MACAddress(0x02BB), IPv4Address("10.0.0.2"))
+        Link(h1.port0, switch.port(1))
+        Link(h2.port0, switch.port(2))
+        client.set(DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_ROW_STATUS, 101), ROW_CREATE_AND_GO)
+        client.set(DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_ROW_STATUS, 102), ROW_CREATE_AND_GO)
+        client.set(
+            DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_UNTAGGED, 101),
+            portlist_to_bytes({1}, 8),
+        )
+        client.set(
+            DOT1Q_VLAN_STATIC_ENTRY.child(VLAN_UNTAGGED, 102),
+            portlist_to_bytes({2}, 8),
+        )
+        h1.ping(h2.ip)
+        sim.run(until=2.0)
+        assert h1.ping_loss_rate == 1.0  # isolated by SNMP-pushed VLANs

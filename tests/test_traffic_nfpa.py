@@ -1,0 +1,145 @@
+"""Tests for the traffic generators and the NFPA harness."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim import Simulator
+from repro.netsim.link import Link
+from repro.nfpa import LatencyStats, make_sink, measure_forwarding, measure_pipeline_rate
+from repro.softswitch import DatapathCostModel, ESWITCH_COST_MODEL, SoftSwitch
+from repro.openflow import ApplyActions, FlowMod, Match, OutputAction
+from repro.traffic import (
+    cbr_schedule,
+    make_flow_population,
+    poisson_schedule,
+    zipf_weights,
+)
+
+
+class TestFlowPopulation:
+    def test_count_and_uniqueness(self):
+        flows = make_flow_population(50, seed=1)
+        assert len(flows) == 50
+        keys = {(f.src_ip, f.dst_ip, f.src_port, f.dst_port) for f in flows}
+        assert len(keys) == 50
+
+    def test_seeded_reproducibility(self):
+        assert make_flow_population(10, seed=7) == make_flow_population(10, seed=7)
+        assert make_flow_population(10, seed=7) != make_flow_population(10, seed=8)
+
+    def test_fixed_dst_port(self):
+        flows = make_flow_population(5, seed=0, dst_port=80)
+        assert all(f.dst_port == 80 for f in flows)
+
+    def test_frames_parse(self):
+        from repro.net.build import parse_udp
+
+        flow = make_flow_population(1, seed=3)[0]
+        frame = flow.frame(payload_len=100)
+        result = parse_udp(frame)
+        assert result is not None
+        packet, datagram = result
+        assert packet.src == flow.src_ip
+        assert len(datagram.payload) == 100
+
+    def test_vlan_tagging(self):
+        flow = make_flow_population(1, seed=3)[0]
+        assert flow.frame(vlan_id=101).vlan_id == 101
+
+
+class TestZipf:
+    def test_weights_sum_to_one(self):
+        assert sum(zipf_weights(10)) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(20, skew=1.1)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_skew_zero_is_uniform(self):
+        weights = zipf_weights(4, skew=0.0)
+        assert all(w == pytest.approx(0.25) for w in weights)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestSchedules:
+    def test_cbr_spacing(self):
+        times = cbr_schedule(1000.0, 0.01)
+        assert len(times) == 10
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(g == pytest.approx(0.001) for g in gaps)
+
+    def test_poisson_mean_rate(self):
+        times = poisson_schedule(10_000.0, 1.0, seed=3)
+        assert 9_000 < len(times) < 11_000
+
+    def test_poisson_seeded(self):
+        assert poisson_schedule(100, 1.0, seed=1) == poisson_schedule(100, 1.0, seed=1)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            cbr_schedule(0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_schedule(-1, 1.0)
+
+
+class TestLatencyStats:
+    def test_percentiles(self):
+        stats = LatencyStats(samples=[float(i) for i in range(1, 101)])
+        assert stats.p50 == pytest.approx(50.0, abs=1.0)
+        assert stats.p99 == pytest.approx(99.0, abs=1.0)
+        assert stats.maximum == 100.0
+        assert stats.mean == pytest.approx(50.5)
+
+    def test_empty_is_nan(self):
+        import math
+
+        assert math.isnan(LatencyStats().mean)
+
+
+class TestHarness:
+    def test_measure_forwarding_delivers_and_times(self):
+        sim = Simulator()
+        switch = SoftSwitch(
+            sim, "dut", datapath_id=1,
+            cost_model=DatapathCostModel(100.0, 0, 0, 0, 0, 0),
+        )
+        sink = make_sink(sim, "test")
+        switch.add_port(1)
+        Link(switch.add_port(2), sink.add_port(1), bandwidth_bps=None)
+        switch.handle_message(
+            FlowMod(
+                match=Match(in_port=1),
+                instructions=[ApplyActions(actions=(OutputAction(port=2),))],
+            ).to_bytes()
+        )
+        flows = make_flow_population(4, seed=5)
+        result = measure_forwarding(
+            sim,
+            "test",
+            lambda frame: switch.inject(frame, 1),
+            sink,
+            flows,
+            packets_per_flow=25,
+            interval_s=1e-5,
+        )
+        assert result.offered_packets == 100
+        assert result.delivered_packets == 100
+        assert result.loss_rate == 0.0
+        assert result.latency.count == 100
+        assert result.latency.mean >= 100e-9
+
+    def test_pipeline_rate_analytic(self):
+        rate = measure_pipeline_rate(ESWITCH_COST_MODEL, lookups=1, actions=1)
+        assert rate == pytest.approx(1.0 / 65e-9)
+
+    def test_result_row_renders(self):
+        sim = Simulator()
+        sink = make_sink(sim, "row")
+        sink.stats.offered_packets = 10
+        sink.stats.delivered_packets = 10
+        sink.stats.duration_s = 1.0
+        assert "Mpps" in sink.stats.row()
