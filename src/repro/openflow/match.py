@@ -14,7 +14,7 @@ from typing import Iterator, Optional
 
 from repro.net.addresses import IPv4Address, MACAddress
 from repro.openflow.consts import OFPVID_PRESENT
-from repro.openflow.packetview import PacketView
+from repro.openflow.packetview import FIELD_INDEX, PacketView
 
 #: field name -> (oxm field code, byte width)
 OXM_FIELDS: dict[str, tuple[int, int]] = {
@@ -90,6 +90,8 @@ class Match:
 
     def __init__(self, **fields: object) -> None:
         self._fields: dict[str, MatchField] = {}
+        self._compiled: "tuple[tuple[int, int, int], ...] | None" = None
+        self._exact_key: "tuple[tuple[str, ...], tuple[int, ...]] | None | bool" = False
         for name, spec in fields.items():
             if isinstance(spec, tuple):
                 value, mask = spec
@@ -120,12 +122,62 @@ class Match:
     def get(self, field: str) -> Optional[MatchField]:
         return self._fields.get(field)
 
-    def matches(self, view: PacketView) -> bool:
-        """True if *view* satisfies every constraint."""
-        return all(
-            constraint.covers(view.get(name))
+    def _compile(self) -> "tuple[tuple[int, int, int], ...]":
+        """Pre-compile to (flow-key slot, mask, masked value) triples.
+
+        Turns ``matches`` into plain integer compares over the packet's
+        flow key — no per-field name dispatch on the hot path.  Cached;
+        Match objects are immutable once visible to a flow table.
+        """
+        compiled = tuple(
+            (
+                FIELD_INDEX[name],
+                constraint.effective_mask,
+                constraint.value & constraint.effective_mask,
+            )
             for name, constraint in self._fields.items()
         )
+        self._compiled = compiled
+        return compiled
+
+    def matches_key(self, key: "tuple[int | None, ...]") -> bool:
+        """True if the flow key *key* satisfies every constraint."""
+        compiled = self._compiled
+        if compiled is None:
+            compiled = self._compile()
+        for index, mask, value in compiled:
+            packet_value = key[index]
+            if packet_value is None or packet_value & mask != value:
+                return False
+        return True
+
+    def matches(self, view: PacketView) -> bool:
+        """True if *view* satisfies every constraint."""
+        return self.matches_key(view.flow_key())
+
+    def exact_key(self) -> "tuple[tuple[str, ...], tuple[int, ...]] | None":
+        """The (field names, values) pair if every constraint is exact.
+
+        An exact match constrains whole fields (no partial masks), so a
+        classifier can index it in a hash bucket keyed by the field-set
+        and probe with values pulled straight from a packet's flow key.
+        Returns None when any field is masked (those entries stay on
+        the linear-scan fallback path).
+        """
+        cached = self._exact_key
+        if cached is not False:
+            return cached  # type: ignore[return-value]
+        names = tuple(sorted(self._fields, key=FIELD_INDEX.__getitem__))
+        values = []
+        for name in names:
+            constraint = self._fields[name]
+            width = OXM_FIELDS[name][1]
+            if constraint.effective_mask != (1 << (8 * width)) - 1:
+                self._exact_key = None
+                return None
+            values.append(constraint.value)
+        self._exact_key = (names, tuple(values))
+        return self._exact_key
 
     def is_subset_of(self, other: "Match") -> bool:
         """True if every packet matching self also matches *other*.

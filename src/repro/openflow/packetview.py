@@ -1,8 +1,12 @@
-"""A lazily-parsed field view over an Ethernet frame.
+"""A single-pass field view over an Ethernet frame.
 
 The switch pipeline matches fields many times per packet; PacketView
-parses each layer once on first access and caches the extracted match
-fields.  Field names follow the OXM naming.
+decodes every supported OXM field once into a flat *flow key* tuple
+(the OVS-style "miniflow").  The key is what the two-tier fast path is
+built on: the exact-match microflow cache hashes it directly, and
+pre-compiled :class:`~repro.openflow.match.Match` objects test it with
+plain integer comparisons instead of per-field attribute dispatch.
+Field names follow the OXM naming.
 """
 
 from __future__ import annotations
@@ -12,82 +16,107 @@ from typing import Any, Optional
 from repro.net.build import parse_ipv4
 from repro.net.errors import PacketDecodeError
 from repro.net.ethernet import ETHERTYPE_IPV4, EthernetFrame
-from repro.net.ipv4 import IPPROTO_TCP, IPPROTO_UDP, IPv4Packet
+from repro.net.ipv4 import IPPROTO_TCP, IPPROTO_UDP
 from repro.net.tcp import TcpSegment
 from repro.net.udp import UdpDatagram
 from repro.openflow.consts import OFPVID_PRESENT
+
+#: Canonical field order of the flow key.  Every supported OXM field
+#: has a fixed slot; absent fields hold None.  Matches and the flow
+#: cache index into this tuple, so the order is part of the fast-path
+#: contract (append-only if it ever grows).
+FLOW_KEY_FIELDS: tuple[str, ...] = (
+    "in_port",
+    "eth_dst",
+    "eth_src",
+    "eth_type",
+    "vlan_vid",
+    "vlan_pcp",
+    "ip_dscp",
+    "ip_proto",
+    "ipv4_src",
+    "ipv4_dst",
+    "tcp_src",
+    "tcp_dst",
+    "udp_src",
+    "udp_dst",
+)
+
+#: field name -> slot in the flow key tuple.
+FIELD_INDEX: dict[str, int] = {name: i for i, name in enumerate(FLOW_KEY_FIELDS)}
+
+FlowKey = "tuple[Optional[int], ...]"
 
 
 class PacketView:
     """Read-only OXM-field access to a frame as it ingresses a port."""
 
+    __slots__ = ("frame", "in_port", "_key")
+
     def __init__(self, frame: EthernetFrame, in_port: int) -> None:
         self.frame = frame
         self.in_port = in_port
-        self._l3: "IPv4Packet | None | bool" = False  # False = not parsed yet
-        self._l4: "TcpSegment | UdpDatagram | None | bool" = False
+        self._key: "tuple[Optional[int], ...] | None" = None
 
-    def _ipv4(self) -> "IPv4Packet | None":
-        if self._l3 is False:
-            if self.frame.ethertype == ETHERTYPE_IPV4:
-                try:
-                    self._l3 = parse_ipv4(self.frame)
-                except PacketDecodeError:
-                    self._l3 = None
-            else:
-                self._l3 = None
-        return self._l3  # type: ignore[return-value]
+    def flow_key(self) -> "tuple[Optional[int], ...]":
+        """All OXM fields of this packet as one flat tuple.
 
-    def _transport(self) -> "TcpSegment | UdpDatagram | None":
-        if self._l4 is False:
-            packet = self._ipv4()
-            self._l4 = None
+        Decoded in a single pass on first use (L2 always, L3/L4 when
+        present); absent fields are None.  ``vlan_vid`` follows
+        OpenFlow semantics: tagged frames report ``OFPVID_PRESENT |
+        vid``; untagged frames report 0.
+        """
+        key = self._key
+        if key is None:
+            key = self._key = self._decode()
+        return key
+
+    def _decode(self) -> "tuple[Optional[int], ...]":
+        frame = self.frame
+        vlan = frame.vlan
+        ip_dscp = ip_proto = ipv4_src = ipv4_dst = None
+        tcp_src = tcp_dst = udp_src = udp_dst = None
+        if frame.ethertype == ETHERTYPE_IPV4:
+            try:
+                packet = parse_ipv4(frame)
+            except PacketDecodeError:
+                packet = None
             if packet is not None:
+                ip_dscp = packet.dscp
+                ip_proto = packet.protocol
+                ipv4_src = int(packet.src)
+                ipv4_dst = int(packet.dst)
                 try:
-                    if packet.protocol == IPPROTO_TCP:
-                        self._l4 = TcpSegment.from_bytes(packet.payload)
-                    elif packet.protocol == IPPROTO_UDP:
-                        self._l4 = UdpDatagram.from_bytes(packet.payload)
+                    if ip_proto == IPPROTO_TCP:
+                        segment = TcpSegment.from_bytes(packet.payload)
+                        tcp_src = segment.src_port
+                        tcp_dst = segment.dst_port
+                    elif ip_proto == IPPROTO_UDP:
+                        datagram = UdpDatagram.from_bytes(packet.payload)
+                        udp_src = datagram.src_port
+                        udp_dst = datagram.dst_port
                 except PacketDecodeError:
-                    self._l4 = None
-        return self._l4  # type: ignore[return-value]
+                    pass
+        return (
+            self.in_port,
+            int(frame.dst),
+            int(frame.src),
+            frame.ethertype,
+            OFPVID_PRESENT | vlan.vlan_id if vlan is not None else 0,
+            vlan.pcp if vlan is not None else None,
+            ip_dscp,
+            ip_proto,
+            ipv4_src,
+            ipv4_dst,
+            tcp_src,
+            tcp_dst,
+            udp_src,
+            udp_dst,
+        )
 
     def get(self, field: str) -> Optional[Any]:
-        """The value of OXM *field* for this packet, or None if absent.
-
-        ``vlan_vid`` follows OpenFlow semantics: tagged frames report
-        ``OFPVID_PRESENT | vid``; untagged frames report 0.
-        """
-        if field == "in_port":
-            return self.in_port
-        if field == "eth_dst":
-            return int(self.frame.dst)
-        if field == "eth_src":
-            return int(self.frame.src)
-        if field == "eth_type":
-            return self.frame.ethertype
-        if field == "vlan_vid":
-            if self.frame.vlan is None:
-                return 0
-            return OFPVID_PRESENT | self.frame.vlan.vlan_id
-        if field == "vlan_pcp":
-            return self.frame.vlan.pcp if self.frame.vlan else None
-        packet = self._ipv4()
-        if field == "ip_proto":
-            return packet.protocol if packet else None
-        if field == "ipv4_src":
-            return int(packet.src) if packet else None
-        if field == "ipv4_dst":
-            return int(packet.dst) if packet else None
-        if field == "ip_dscp":
-            return packet.dscp if packet else None
-        transport = self._transport()
-        if field == "tcp_src":
-            return transport.src_port if isinstance(transport, TcpSegment) else None
-        if field == "tcp_dst":
-            return transport.dst_port if isinstance(transport, TcpSegment) else None
-        if field == "udp_src":
-            return transport.src_port if isinstance(transport, UdpDatagram) else None
-        if field == "udp_dst":
-            return transport.dst_port if isinstance(transport, UdpDatagram) else None
-        raise KeyError(f"unknown OXM field {field!r}")
+        """The value of OXM *field* for this packet, or None if absent."""
+        index = FIELD_INDEX.get(field)
+        if index is None:
+            raise KeyError(f"unknown OXM field {field!r}")
+        return self.flow_key()[index]

@@ -55,6 +55,7 @@ from repro.openflow.messages import (
 )
 from repro.openflow.packetview import PacketView
 from repro.softswitch.costmodel import DatapathCostModel, ESWITCH_COST_MODEL
+from repro.softswitch.fastpath import CachedPath, DatapathFlowCache
 from repro.softswitch.flowtable import FlowEntry, FlowTable
 from repro.softswitch.groups import SELECT_HASH_FIELDS, GroupTable
 
@@ -89,11 +90,19 @@ class SoftSwitch(Node):
         datapath_id: int,
         num_tables: int = 4,
         cost_model: DatapathCostModel = ESWITCH_COST_MODEL,
+        enable_fast_path: bool = True,
     ) -> None:
         super().__init__(sim, name)
         self.datapath_id = datapath_id
         self.tables = [FlowTable(table_id) for table_id in range(num_tables)]
         self.groups = GroupTable()
+        #: Two-tier fast path: microflow cache over the bucketed
+        #: classifier.  Disabled (None cache + seed linear scans) only
+        #: for differential tests and the fastpath benchmark baseline.
+        self.fast_path = enable_fast_path
+        self.flow_cache: "Optional[DatapathFlowCache]" = (
+            DatapathFlowCache() if enable_fast_path else None
+        )
         self.cost_model = cost_model
         #: Fields hashed for select-group bucket choice.  The OpenFlow
         #: spec leaves the selection algorithm to the implementation;
@@ -127,17 +136,33 @@ class SoftSwitch(Node):
         as forwarding latency.
         """
         stats = PipelineStats()
-        self._tx_buffer: list[tuple[int, EthernetFrame]] = []
-        self._async_buffer: list[OpenFlowMessage] = []
-        self._run_pipeline(frame, in_port, stats)
-        self._flush(stats)
+        outputs, async_messages = self._buffered(self._run_pipeline, frame, in_port, stats)
+        self._flush(outputs, async_messages, stats)
 
-    def _flush(self, stats: PipelineStats) -> None:
+    def _buffered(
+        self, runner, *args
+    ) -> "tuple[list[tuple[int, EthernetFrame]], list[OpenFlowMessage]]":
+        """Run *runner* against fresh emission buffers; return what it buffered.
+
+        The previous buffers are saved and restored, so a packet-out
+        handled while a pipeline walk is in flight (reentrant controller
+        callbacks) can never drop the walk's buffered outputs.
+        """
+        saved_tx, saved_async = self._tx_buffer, self._async_buffer
+        self._tx_buffer, self._async_buffer = [], []
+        try:
+            runner(*args)
+            return self._tx_buffer, self._async_buffer
+        finally:
+            self._tx_buffer, self._async_buffer = saved_tx, saved_async
+
+    def _flush(
+        self,
+        outputs: "list[tuple[int, EthernetFrame]]",
+        async_messages: "list[OpenFlowMessage]",
+        stats: PipelineStats,
+    ) -> None:
         finish = self._charge(stats)
-        outputs = self._tx_buffer
-        async_messages = self._async_buffer
-        self._tx_buffer = []
-        self._async_buffer = []
         if not outputs and not async_messages:
             return
 
@@ -173,30 +198,87 @@ class SoftSwitch(Node):
         self, frame: EthernetFrame, in_port: int, stats: PipelineStats
     ) -> None:
         now = self.sim.now
+        view = PacketView(frame, in_port)
+        key = view.flow_key()
+        cache = self.flow_cache
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None and self._replay(cached, key, frame, in_port, stats, now):
+                cache.hits += 1
+                return
+            cache.misses += 1
+        self._slow_path(view, frame, in_port, stats, now)
+
+    def _replay(
+        self,
+        cached: CachedPath,
+        key: "tuple[int | None, ...]",
+        frame: EthernetFrame,
+        in_port: int,
+        stats: PipelineStats,
+        now: float,
+    ) -> bool:
+        """Re-execute a memoised walk; False if it went stale (expiry).
+
+        Only the per-table classifier search is skipped: counters,
+        action execution, group selection and packet-in all run exactly
+        as on the slow path, so behaviour is bit-identical.
+        """
+        for _, entry in cached.steps:
+            if entry.is_expired(now):
+                self.flow_cache.discard(key)
+                return False
+        current = frame
+        action_set: dict[str, Action] = {}
+        for table_id, entry in cached.steps:
+            table = self.tables[table_id]
+            table.lookups += 1
+            table.matches += 1
+            stats.lookups += 1
+            current = self._execute_entry(entry, current, in_port, stats, action_set, now)[0]
+        if cached.miss_table is not None:
+            self.tables[cached.miss_table].lookups += 1
+            stats.lookups += 1
+            self.packets_dropped += 1
+            return True
+        if action_set:
+            ordered = self._order_action_set(action_set)
+            self._apply_actions(ordered, current, in_port, stats)
+        return True
+
+    def _slow_path(
+        self,
+        view: PacketView,
+        frame: EthernetFrame,
+        in_port: int,
+        stats: PipelineStats,
+        now: float,
+    ) -> None:
+        key = view.flow_key()  # the *ingress* key — what the cache indexes
         table_id = 0
         action_set: dict[str, Action] = {}
         current = frame
+        steps: "list[tuple[int, FlowEntry]]" = []
+        cache = self.flow_cache
         while table_id < len(self.tables):
-            view = PacketView(current, in_port)
-            entry = self.tables[table_id].lookup(view, now)
+            if view.frame is not current:
+                view = PacketView(current, in_port)
+            table = self.tables[table_id]
+            entry = (
+                table.lookup(view, now)
+                if self.fast_path
+                else table.linear_lookup(view, now)
+            )
             stats.lookups += 1
             if entry is None:
                 self.packets_dropped += 1
+                if cache is not None:
+                    cache.store(key, CachedPath(steps=tuple(steps), miss_table=table_id))
                 return
-            entry.touch(now, current.wire_length)
-            next_table: "int | None" = None
-            for instruction in entry.instructions:
-                if isinstance(instruction, ApplyActions):
-                    current = self._apply_actions(
-                        list(instruction.actions), current, in_port, stats
-                    )
-                elif isinstance(instruction, WriteActions):
-                    for action in instruction.actions:
-                        action_set[self._action_set_key(action)] = action
-                elif isinstance(instruction, ClearActions):
-                    action_set.clear()
-                elif isinstance(instruction, GotoTable):
-                    next_table = instruction.table_id
+            steps.append((table_id, entry))
+            current, next_table = self._execute_entry(
+                entry, current, in_port, stats, action_set, now
+            )
             if next_table is None:
                 break
             if next_table <= table_id:
@@ -204,11 +286,39 @@ class SoftSwitch(Node):
                     f"{self.name}: goto-table must increase ({table_id} -> {next_table})"
                 )
             table_id = next_table
+        if cache is not None:
+            cache.store(key, CachedPath(steps=tuple(steps)))
         if action_set:
             ordered = self._order_action_set(action_set)
             self._apply_actions(ordered, current, in_port, stats)
         # No action set and no outputs along the way: packet is dropped
         # implicitly (already accounted where applicable).
+
+    def _execute_entry(
+        self,
+        entry: FlowEntry,
+        current: EthernetFrame,
+        in_port: int,
+        stats: PipelineStats,
+        action_set: "dict[str, Action]",
+        now: float,
+    ) -> "tuple[EthernetFrame, int | None]":
+        """Run one matched entry's instructions; shared by both paths."""
+        entry.touch(now, current.wire_length)
+        next_table: "int | None" = None
+        for instruction in entry.instructions:
+            if isinstance(instruction, ApplyActions):
+                current = self._apply_actions(
+                    list(instruction.actions), current, in_port, stats
+                )
+            elif isinstance(instruction, WriteActions):
+                for action in instruction.actions:
+                    action_set[self._action_set_key(action)] = action
+            elif isinstance(instruction, ClearActions):
+                action_set.clear()
+            elif isinstance(instruction, GotoTable):
+                next_table = instruction.table_id
+        return current, next_table
 
     @staticmethod
     def _action_set_key(action: Action) -> str:
@@ -373,11 +483,19 @@ class SoftSwitch(Node):
             ).to_bytes()
         ]
 
+    def _invalidate_fast_path(self) -> None:
+        if self.flow_cache is not None:
+            self.flow_cache.invalidate()
+
     def _handle_flow_mod(self, message: FlowMod) -> "ErrorMsg | None":
         if message.table_id >= len(self.tables):
             return ErrorMsg(xid=message.xid, error_type=5, code=2)  # bad table
         table = self.tables[message.table_id]
         now = self.sim.now
+        # Every state-changing FlowMod below invalidates the microflow
+        # cache: add/delete/modify all change which entry a memoised
+        # walk would pick or what it would do.  No-ops (delete that
+        # removes nothing, rejected commands) keep the cache warm.
         if message.command == c.OFPFC_ADD:
             if message.idle_timeout or message.hard_timeout:
                 self._ensure_sweeper()
@@ -393,6 +511,7 @@ class SoftSwitch(Node):
                 ),
                 now,
             )
+            self._invalidate_fast_path()
             return None
         if message.command in (c.OFPFC_DELETE, c.OFPFC_DELETE_STRICT):
             removed = table.delete(
@@ -402,6 +521,8 @@ class SoftSwitch(Node):
                 cookie=message.cookie,
                 cookie_mask=message.cookie_mask,
             )
+            if removed:
+                self._invalidate_fast_path()
             for entry in removed:
                 if entry.send_flow_removed:
                     self._send_async(
@@ -418,6 +539,7 @@ class SoftSwitch(Node):
                     )
             return None
         if message.command in (c.OFPFC_MODIFY, c.OFPFC_MODIFY_STRICT):
+            modified = False
             for entry in table:
                 same_priority = (
                     entry.priority == message.priority
@@ -425,6 +547,11 @@ class SoftSwitch(Node):
                 )
                 if same_priority and entry.match == message.match:
                     entry.instructions = list(message.instructions)
+                    if message.cookie:
+                        entry.cookie = message.cookie
+                    modified = True
+            if modified:
+                self._invalidate_fast_path()
             return None
         return ErrorMsg(xid=message.xid, error_type=4, code=0)  # bad command
 
@@ -442,6 +569,9 @@ class SoftSwitch(Node):
                 return ErrorMsg(xid=message.xid, error_type=6, code=0)
         except (ValueError, KeyError):
             return ErrorMsg(xid=message.xid, error_type=6, code=1)
+        # Bucket changes redirect memoised walks that execute group
+        # actions; drop them all (correctness over retention).
+        self._invalidate_fast_path()
         return None
 
     def _handle_packet_out(self, message: PacketOut) -> None:
@@ -452,10 +582,10 @@ class SoftSwitch(Node):
             else 0
         )
         stats = PipelineStats()
-        self._tx_buffer = []
-        self._async_buffer = []
-        self._apply_actions(list(message.actions), frame, in_port, stats)
-        self._flush(stats)
+        outputs, async_messages = self._buffered(
+            self._apply_actions, list(message.actions), frame, in_port, stats
+        )
+        self._flush(outputs, async_messages, stats)
 
     def _flow_stats(self, message: FlowStatsRequest) -> FlowStatsReply:
         entries = []
@@ -506,7 +636,10 @@ class SoftSwitch(Node):
         now = self.sim.now
         any_mortal_flows = False
         for table in self.tables:
-            for entry in table.expire(now):
+            expired = table.expire(now)
+            if expired:
+                self._invalidate_fast_path()
+            for entry in expired:
                 if entry.send_flow_removed:
                     reason = (
                         c.OFPRR_HARD_TIMEOUT

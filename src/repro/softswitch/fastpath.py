@@ -1,0 +1,90 @@
+"""The datapath fast path: an exact-match microflow cache.
+
+This is the top tier of the OVS-style two-tier datapath.  The first
+packet of a flow walks the full multi-table pipeline (the slow path:
+per-table classifier lookups) and records which entry won in each
+table.  Every later packet with the same flow key replays that recorded
+walk — one dict probe instead of one classifier search per table.
+
+The cache memoises *decisions*, not outputs: actions are re-executed
+for every packet, so counters, packet-in, group bucket selection and
+frame rewrites behave bit-identically to the slow path.  Entries are
+validated against flow expiry on every hit, and the whole cache is
+invalidated on any flow-table or group-table mutation — correctness
+first, the common steady state (no control-plane churn) keeps its
+hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.softswitch.flowtable import FlowEntry
+
+#: Default microflow-cache capacity (distinct flow keys).
+DEFAULT_CACHE_SIZE = 8192
+
+
+@dataclass(frozen=True)
+class CachedPath:
+    """One memoised pipeline walk.
+
+    ``steps`` are the (table_id, winning entry) pairs in walk order;
+    ``miss_table`` is the table where the walk ended in a table-miss
+    drop, or None if the walk completed.
+    """
+
+    steps: "tuple[tuple[int, FlowEntry], ...]"
+    miss_table: Optional[int] = None
+
+
+class DatapathFlowCache:
+    """Flow key -> memoised multi-table walk, with stats.
+
+    Eviction is FIFO once ``max_entries`` is reached — microflow caches
+    favour simplicity over retention because re-populating an entry
+    costs one slow-path walk.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_CACHE_SIZE) -> None:
+        self.max_entries = max_entries
+        self._paths: "dict[tuple[int | None, ...], CachedPath]" = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def get(self, key: "tuple[int | None, ...]") -> Optional[CachedPath]:
+        return self._paths.get(key)
+
+    def store(self, key: "tuple[int | None, ...]", path: CachedPath) -> None:
+        if len(self._paths) >= self.max_entries and key not in self._paths:
+            self._paths.pop(next(iter(self._paths)))
+        self._paths[key] = path
+
+    def discard(self, key: "tuple[int | None, ...]") -> None:
+        self._paths.pop(key, None)
+
+    def invalidate(self) -> None:
+        """Drop every memoised walk (any table/group mutation)."""
+        self.invalidations += 1
+        if self._paths:
+            self._paths.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._paths),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "invalidations": self.invalidations,
+        }

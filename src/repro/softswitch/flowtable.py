@@ -1,13 +1,31 @@
-"""Flow tables: priority-ordered masked matching with timeouts."""
+"""Flow tables: priority-ordered masked matching with timeouts.
+
+Lookup is two-tier, the slow-path half of the OVS-style datapath:
+
+* **exact buckets** — entries whose match constrains whole fields (no
+  partial masks) are grouped by their field-set; each group is a hash
+  table from the value tuple (pulled straight out of a packet's flow
+  key) to the entries carrying those values.  One dict probe per
+  distinct field-set replaces a scan over every exact entry.
+* **masked fallback** — entries with partial masks stay on a
+  priority-ordered linear list, exactly the seed algorithm.
+
+The candidates from both tiers are arbitrated by the same total order
+the seed used, so lookup results are bit-identical to a pure linear
+scan (``linear_lookup`` keeps that reference implementation alive for
+differential tests and benchmarks).
+"""
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Iterator, Optional
 
 from repro.openflow.instructions import Instruction
 from repro.openflow.match import Match
-from repro.openflow.packetview import PacketView
+from repro.openflow.packetview import FIELD_INDEX, PacketView
 
 
 @dataclass
@@ -25,6 +43,13 @@ class FlowEntry:
     last_used_at: float = 0.0
     packet_count: int = 0
     byte_count: int = 0
+    #: Install sequence number within the owning table; makes the sort
+    #: key below a total order even when two flows share a priority and
+    #: an install timestamp (bulk pushes at migration time).
+    seq: int = 0
+    #: (-priority, installed_at, seq) — the table-wide arbitration
+    #: order; assigned by FlowTable.install.
+    sort_key: "tuple[int, float, int]" = (0, 0.0, 0)
 
     def touch(self, now: float, wire_bytes: int) -> None:
         self.packet_count += 1
@@ -47,6 +72,9 @@ class FlowEntry:
         )
 
 
+_SORT_KEY = attrgetter("sort_key")
+
+
 class FlowTable:
     """One numbered table of a pipeline.
 
@@ -54,11 +82,22 @@ class FlowTable:
     highest-priority matching entry.  Ties at equal priority resolve to
     the earliest-installed entry (OpenFlow leaves this undefined;
     deterministic beats undefined for differential testing).
+
+    The table itself does no cache bookkeeping: the datapath
+    explicitly invalidates its microflow cache at every mutation site
+    (FlowMod, GroupMod, expiry sweep).
     """
 
     def __init__(self, table_id: int) -> None:
         self.table_id = table_id
         self._entries: list[FlowEntry] = []
+        self._seq = 0
+        #: field-set -> {value tuple -> entries sorted by sort_key}
+        self._exact: dict[tuple[str, ...], dict[tuple[int, ...], list[FlowEntry]]] = {}
+        #: field-set -> flow-key slots probed for that bucket group
+        self._exact_slots: dict[tuple[str, ...], tuple[int, ...]] = {}
+        #: entries with partial masks, sorted by sort_key (seed order)
+        self._masked: list[FlowEntry] = []
         self.lookups = 0
         self.matches = 0
 
@@ -68,22 +107,115 @@ class FlowTable:
     def __iter__(self) -> Iterator[FlowEntry]:
         return iter(self._entries)
 
+    # ------------------------------------------------------------ mutation
+
     def install(self, entry: FlowEntry, now: float) -> None:
         """Add *entry*, replacing an existing identical (match, priority)."""
         entry.installed_at = now
         entry.last_used_at = now
-        self._entries = [
-            existing
-            for existing in self._entries
-            if not (
-                existing.priority == entry.priority and existing.match == entry.match
-            )
-        ]
-        self._entries.append(entry)
-        self._entries.sort(key=lambda e: (-e.priority, e.installed_at))
+        existing = self._find_identical(entry)
+        if existing is not None:
+            self._remove(existing)
+        entry.seq = self._seq
+        self._seq += 1
+        entry.sort_key = (-entry.priority, entry.installed_at, entry.seq)
+        bisect.insort(self._entries, entry, key=_SORT_KEY)
+        self._index_add(entry)
+
+    def _find_identical(self, entry: FlowEntry) -> Optional[FlowEntry]:
+        """The installed entry with the same (match, priority), if any.
+
+        Probes only the tier the entry would land in — an equal Match
+        has an equal exact_key, so an exact entry's duplicate can only
+        sit in its own value bucket and a masked entry's only on the
+        masked list.  Keeps bulk pushes O(log n) per FlowMod instead of
+        re-scanning the whole table.
+        """
+        exact = entry.match.exact_key()
+        if exact is None:
+            candidates = self._masked
+        else:
+            names, values = exact
+            candidates = self._exact.get(names, {}).get(values, ())
+        for existing in candidates:
+            if existing.priority == entry.priority and existing.match == entry.match:
+                return existing
+        return None
+
+    def _remove(self, entry: FlowEntry) -> None:
+        index = bisect.bisect_left(self._entries, entry.sort_key, key=_SORT_KEY)
+        while self._entries[index] is not entry:
+            index += 1
+        del self._entries[index]
+        self._index_remove(entry)
+
+    def _index_add(self, entry: FlowEntry) -> None:
+        exact = entry.match.exact_key()
+        if exact is None:
+            bisect.insort(self._masked, entry, key=_SORT_KEY)
+            return
+        names, values = exact
+        buckets = self._exact.get(names)
+        if buckets is None:
+            buckets = self._exact[names] = {}
+            self._exact_slots[names] = tuple(FIELD_INDEX[name] for name in names)
+        chain = buckets.get(values)
+        if chain is None:
+            buckets[values] = [entry]
+        else:
+            bisect.insort(chain, entry, key=_SORT_KEY)
+
+    def _index_remove(self, entry: FlowEntry) -> None:
+        exact = entry.match.exact_key()
+        if exact is None:
+            self._masked.remove(entry)
+            return
+        names, values = exact
+        buckets = self._exact[names]
+        chain = buckets[values]
+        chain.remove(entry)
+        if not chain:
+            del buckets[values]
+            if not buckets:
+                del self._exact[names]
+                del self._exact_slots[names]
+
+    # ------------------------------------------------------------- lookup
 
     def lookup(self, view: PacketView, now: float) -> Optional[FlowEntry]:
-        """Highest-priority live entry matching *view*."""
+        """Highest-priority live entry matching *view* (two-tier)."""
+        self.lookups += 1
+        entry = self._classify(view.flow_key(), now)
+        if entry is not None:
+            self.matches += 1
+        return entry
+
+    def _classify(
+        self, key: "tuple[int | None, ...]", now: float
+    ) -> Optional[FlowEntry]:
+        best: "FlowEntry | None" = None
+        for names, buckets in self._exact.items():
+            slots = self._exact_slots[names]
+            chain = buckets.get(tuple(key[slot] for slot in slots))
+            if not chain:
+                continue
+            for entry in chain:
+                if entry.is_expired(now):
+                    continue
+                if best is None or entry.sort_key < best.sort_key:
+                    best = entry
+                break  # chain is sorted: first live one is its best
+        for entry in self._masked:
+            if best is not None and entry.sort_key > best.sort_key:
+                break  # sorted: no later masked entry can win
+            if entry.is_expired(now):
+                continue
+            if entry.match.matches_key(key):
+                return entry  # beats best by order, ends the search
+        return best
+
+    def linear_lookup(self, view: PacketView, now: float) -> Optional[FlowEntry]:
+        """The seed O(n) scan, kept as the differential-test reference."""
         self.lookups += 1
         for entry in self._entries:
             if entry.is_expired(now):
@@ -92,6 +224,8 @@ class FlowTable:
                 self.matches += 1
                 return entry
         return None
+
+    # --------------------------------------------------------- bulk removal
 
     def delete(
         self,
@@ -122,7 +256,10 @@ class FlowTable:
                 removed.append(entry)
             else:
                 kept.append(entry)
-        self._entries = kept
+        if removed:
+            self._entries = kept
+            for entry in removed:
+                self._index_remove(entry)
         return removed
 
     def expire(self, now: float) -> list[FlowEntry]:
@@ -132,6 +269,8 @@ class FlowTable:
             self._entries = [
                 entry for entry in self._entries if not entry.is_expired(now)
             ]
+            for entry in expired:
+                self._index_remove(entry)
         return expired
 
     def dump(self) -> str:

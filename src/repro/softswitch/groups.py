@@ -14,7 +14,7 @@ from typing import Optional
 
 from repro.openflow.consts import OFPGT_ALL, OFPGT_INDIRECT, OFPGT_SELECT
 from repro.openflow.messages import Bucket
-from repro.openflow.packetview import PacketView
+from repro.openflow.packetview import FIELD_INDEX, PacketView
 
 #: Fields hashed for select-group bucket choice (5-tuple-ish).
 SELECT_HASH_FIELDS = (
@@ -54,9 +54,10 @@ class GroupEntry:
         """Weighted-hash bucket index for *view* (None if no buckets)."""
         if not self.buckets:
             return None
+        key = view.flow_key()  # one decode, values by slot
         key_material = []
         for name in hash_fields:
-            value = view.get(name)
+            value = key[FIELD_INDEX[name]]
             if value is not None:
                 key_material.append(f"{name}={value}")
         digest = hashlib.sha256(";".join(key_material).encode()).digest()

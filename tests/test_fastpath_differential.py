@@ -1,0 +1,601 @@
+"""Differential + invalidation tests for the two-tier datapath fast path.
+
+The classifier (hash-bucketed exact tier + masked linear fallback) and
+the microflow cache are only allowed to exist because they are
+semantics-free: every test here checks them against the seed's linear
+scan, either per-lookup (randomized flow tables and packets) or
+end-to-end (two switches, one with the fast path disabled, fed the same
+traffic).
+"""
+
+import random
+
+import pytest
+
+from repro.net import EthernetFrame, IPv4Address, MACAddress
+from repro.net.build import tcp_frame, udp_frame
+from repro.net.tcp import TcpSegment
+from repro.netsim import Simulator
+from repro.netsim.link import wire
+from repro.netsim.node import Node
+from repro.openflow import (
+    ApplyActions,
+    Bucket,
+    FlowMod,
+    GotoTable,
+    GroupAction,
+    GroupMod,
+    Match,
+    OutputAction,
+    PacketOut,
+    SetFieldAction,
+    WriteActions,
+)
+from repro.openflow import consts as c
+from repro.openflow.packetview import FLOW_KEY_FIELDS, PacketView
+from repro.softswitch import DatapathCostModel, SoftSwitch
+from repro.softswitch.fastpath import CachedPath, DatapathFlowCache
+from repro.softswitch.flowtable import FlowEntry, FlowTable
+
+ZERO_COST = DatapathCostModel(0, 0, 0, 0, 0, 0)
+
+MACS = [MACAddress(0x020000000001 + i) for i in range(4)]
+IPS = [IPv4Address(f"10.0.{i // 4}.{i % 4 + 1}") for i in range(8)]
+PORTS = [53, 80, 443, 8080]
+
+
+# --------------------------------------------------------------------------
+# Randomized differential: classifier lookup vs an independent linear scan
+# --------------------------------------------------------------------------
+
+
+def random_match(rng: random.Random) -> Match:
+    """A random mix of exact, masked and VLAN constraints."""
+    fields: dict = {}
+    if rng.random() < 0.5:
+        fields["in_port"] = rng.randint(1, 3)
+    if rng.random() < 0.4:
+        fields["eth_type"] = 0x0800
+    if rng.random() < 0.3:
+        fields["eth_src"] = int(rng.choice(MACS))
+    if rng.random() < 0.3:
+        fields["eth_dst"] = int(rng.choice(MACS))
+    if rng.random() < 0.3:
+        fields["vlan_vid"] = (
+            0 if rng.random() < 0.3 else c.OFPVID_PRESENT | rng.randint(100, 103)
+        )
+    if rng.random() < 0.4:
+        value = int(rng.choice(IPS))
+        if rng.random() < 0.5:  # masked -> lands on the linear fallback tier
+            bits = rng.choice((8, 16, 24))
+            mask = (0xFFFFFFFF << (32 - bits)) & 0xFFFFFFFF
+            fields["ipv4_src"] = (value & mask, mask)
+        else:
+            fields["ipv4_src"] = value
+    if rng.random() < 0.4:
+        value = int(rng.choice(IPS))
+        if rng.random() < 0.5:
+            bits = rng.choice((8, 16, 24))
+            mask = (0xFFFFFFFF << (32 - bits)) & 0xFFFFFFFF
+            fields["ipv4_dst"] = (value & mask, mask)
+        else:
+            fields["ipv4_dst"] = value
+    if rng.random() < 0.3:
+        name = rng.choice(("udp_dst", "udp_src", "tcp_dst", "tcp_src"))
+        fields[name] = rng.choice(PORTS)
+    return Match(**fields)
+
+
+def random_frame(rng: random.Random) -> EthernetFrame:
+    src_mac, dst_mac = rng.choice(MACS), rng.choice(MACS)
+    src_ip, dst_ip = rng.choice(IPS), rng.choice(IPS)
+    vlan_id = rng.choice((None, None, 100, 101, 102, 103))
+    if rng.random() < 0.5:
+        return udp_frame(
+            src_mac, dst_mac, src_ip, dst_ip,
+            rng.choice(PORTS), rng.choice(PORTS), b"x", vlan_id=vlan_id,
+        )
+    return tcp_frame(
+        src_mac, dst_mac, src_ip, dst_ip,
+        TcpSegment(rng.choice(PORTS), rng.choice(PORTS)), vlan_id=vlan_id,
+    )
+
+
+def reference_lookup(table: FlowTable, view: PacketView, now: float):
+    """Seed semantics re-derived from first principles.
+
+    Sorts by (-priority, installed_at, seq) and tests each constraint
+    with MatchField.covers over per-field view access — independent of
+    both the bucketed classifier and the compiled matcher.
+    """
+    ordered = sorted(table, key=lambda e: (-e.priority, e.installed_at, e.seq))
+    for entry in ordered:
+        if entry.is_expired(now):
+            continue
+        if all(
+            constraint.covers(view.get(name))
+            for name, constraint in entry.match.fields.items()
+        ):
+            return entry
+    return None
+
+
+class TestRandomizedDifferential:
+    def test_classifier_matches_linear_reference(self):
+        """≥1000 random (flow table, packet) cases, zero divergence."""
+        rng = random.Random(0x4A12)
+        cases = 0
+        for round_index in range(25):
+            table = FlowTable(table_id=0)
+            for i in range(rng.randint(5, 40)):
+                entry = FlowEntry(
+                    match=random_match(rng),
+                    priority=rng.randint(0, 4),  # deliberate collisions
+                    instructions=[],
+                )
+                # Staggered install times with repeats (bulk-push shape).
+                table.install(entry, now=float(rng.randint(0, 2)))
+            for _ in range(60):
+                frame = random_frame(rng)
+                in_port = rng.randint(1, 3)
+                now = 3.0
+                fast = table.lookup(PacketView(frame, in_port), now)
+                linear = table.linear_lookup(PacketView(frame, in_port), now)
+                reference = reference_lookup(table, PacketView(frame, in_port), now)
+                assert fast is reference, (
+                    f"round {round_index}: classifier diverged for {frame} "
+                    f"in_port={in_port}\n{table.dump()}"
+                )
+                assert linear is reference
+                cases += 1
+        assert cases >= 1000
+
+    def test_classifier_after_deletes_and_expiry(self):
+        rng = random.Random(0xBEEF)
+        table = FlowTable(table_id=0)
+        entries = []
+        for _ in range(40):
+            entry = FlowEntry(
+                match=random_match(rng),
+                priority=rng.randint(0, 3),
+                idle_timeout=rng.choice((0.0, 0.0, 2.0)),
+                hard_timeout=rng.choice((0.0, 0.0, 1.5)),
+            )
+            table.install(entry, now=0.0)
+            entries.append(entry)
+        # Delete a random subset through the OpenFlow non-strict path.
+        for entry in rng.sample(entries, 10):
+            table.delete(entry.match, strict=False)
+        for now in (0.5, 1.0, 1.6, 2.5):
+            for _ in range(30):
+                frame = random_frame(rng)
+                view = PacketView(frame, rng.randint(1, 3))
+                assert table.lookup(view, now) is reference_lookup(table, view, now)
+
+    def test_install_order_is_seed_identical(self):
+        """bisect.insort keeps the (-priority, installed_at, seq) order."""
+        table = FlowTable(table_id=0)
+        specs = [(5, 0.0), (1, 0.0), (5, 0.0), (9, 1.0), (5, 0.5), (1, 0.0)]
+        for index, (priority, when) in enumerate(specs):
+            table.install(
+                FlowEntry(match=Match(in_port=index + 1), priority=priority), when
+            )
+        keys = [(-e.priority, e.installed_at, e.seq) for e in table]
+        assert keys == sorted(keys)
+        # Equal (priority, installed_at) resolves by install sequence.
+        same = [e for e in table if e.priority == 5 and e.installed_at == 0.0]
+        assert [e.match.get("in_port").value for e in same] == [1, 3]
+
+    def test_replace_keeps_single_entry(self):
+        table = FlowTable(table_id=0)
+        for _ in range(3):
+            table.install(FlowEntry(match=Match(in_port=1), priority=7), 0.0)
+        assert len(table) == 1
+
+
+# --------------------------------------------------------------------------
+# End-to-end differential: cached switch vs fast-path-disabled switch
+# --------------------------------------------------------------------------
+
+
+class Sink(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, port, frame):
+        self.received.append((self.sim.now, frame.to_bytes()))
+
+
+def build_pair(num_ports=3):
+    """Two identically-provisioned switches: fast path on vs off."""
+    rigs = []
+    for enable in (True, False):
+        sim = Simulator()
+        switch = SoftSwitch(
+            sim, "ss", datapath_id=1, cost_model=ZERO_COST, enable_fast_path=enable
+        )
+        sinks = []
+        for index in range(num_ports):
+            sink = Sink(sim, f"sink{index}")
+            wire(
+                switch,
+                sink,
+                bandwidth_bps=None,
+                propagation_delay_s=0.0,
+                queue_frames=10_000,  # burst-injected traffic must not tail-drop
+            )
+            sinks.append(sink)
+        rigs.append((sim, switch, sinks))
+    return rigs
+
+
+def provision(switch):
+    """A multi-table pipeline with masked flows, write-actions, a group."""
+    messages = [
+        GroupMod(
+            command=c.OFPGC_ADD,
+            group_type=c.OFPGT_SELECT,
+            group_id=1,
+            buckets=[
+                Bucket(actions=[OutputAction(port=2)], weight=1),
+                Bucket(actions=[OutputAction(port=3)], weight=2),
+            ],
+        ),
+        # Table 0: exact ingress steering + masked subnet rule.
+        FlowMod(
+            table_id=0,
+            priority=10,
+            match=Match(in_port=1),
+            instructions=[GotoTable(table_id=1)],
+        ),
+        FlowMod(
+            table_id=0,
+            priority=5,
+            match=Match(eth_type=0x0800, ipv4_dst=("10.0.1.0", "255.255.255.0")),
+            instructions=[ApplyActions(actions=(OutputAction(port=3),))],
+        ),
+        # Table 1: L4 classification into the select group + rewrite.
+        FlowMod(
+            table_id=1,
+            priority=20,
+            match=Match(eth_type=0x0800, udp_dst=53),
+            instructions=[
+                ApplyActions(
+                    actions=(
+                        SetFieldAction(field="eth_dst", value=int(MACS[3])),
+                        GroupAction(group_id=1),
+                    )
+                )
+            ],
+        ),
+        FlowMod(
+            table_id=1,
+            priority=1,
+            match=Match(),
+            instructions=[
+                WriteActions(actions=(OutputAction(port=2),)),
+                GotoTable(table_id=2),
+            ],
+        ),
+        FlowMod(table_id=2, priority=0, match=Match(), instructions=[]),
+    ]
+    for message in messages:
+        assert switch.handle_message(message.to_bytes()) == []
+
+
+class TestEndToEndDifferential:
+    def test_pipeline_outputs_and_counters_identical(self):
+        (sim_a, fast, sinks_a), (sim_b, slow, sinks_b) = build_pair()
+        provision(fast)
+        provision(slow)
+        rng = random.Random(0x5EED)
+        frames = [random_frame(rng) for _ in range(40)]
+        # Steady-state mix: every frame replayed several times so the
+        # microflow cache actually serves hits.
+        schedule = [frames[rng.randrange(len(frames))] for _ in range(400)]
+        for frame in schedule:
+            in_port = 1 if rng.random() < 0.7 else 2
+            fast.inject(frame.copy(), in_port)
+            slow.inject(frame.copy(), in_port)
+        sim_a.run()
+        sim_b.run()
+        assert fast.flow_cache.hits > 200  # the cache did serve the walk
+        for sink_a, sink_b in zip(sinks_a, sinks_b):
+            assert sink_a.received == sink_b.received
+        assert fast.packets_forwarded == slow.packets_forwarded
+        assert fast.packets_dropped == slow.packets_dropped
+        # Per-flow counters, group/bucket counters, table stats.
+        assert fast.dump_pipeline() == slow.dump_pipeline()
+        for table_f, table_s in zip(fast.tables, slow.tables):
+            assert table_f.lookups == table_s.lookups
+            assert table_f.matches == table_s.matches
+        group_f, group_s = fast.groups.get(1), slow.groups.get(1)
+        assert group_f.packet_count == group_s.packet_count
+        assert group_f.bucket_packet_counts == group_s.bucket_packet_counts
+
+    def test_table_miss_is_cached_and_identical(self):
+        (sim_a, fast, _), (sim_b, slow, _) = build_pair()
+        provision(fast)
+        provision(slow)
+        frame = udp_frame(MACS[0], MACS[1], IPS[0], IPS[1], 1000, 9999, b"x")
+        for _ in range(5):
+            fast.inject(frame.copy(), in_port=3)  # no table-0 rule matches
+            slow.inject(frame.copy(), in_port=3)
+        sim_a.run()
+        sim_b.run()
+        assert fast.packets_dropped == slow.packets_dropped == 5
+        assert fast.flow_cache.hits == 4  # misses memoised too
+
+
+# --------------------------------------------------------------------------
+# Cache invalidation: FlowMod, GroupMod, expiry
+# --------------------------------------------------------------------------
+
+
+def build_switch(num_sinks=3):
+    sim = Simulator()
+    switch = SoftSwitch(sim, "ss", datapath_id=1, cost_model=ZERO_COST)
+    sinks = []
+    for index in range(num_sinks):
+        sink = Sink(sim, f"sink{index + 1}")
+        wire(switch, sink, bandwidth_bps=None, propagation_delay_s=0.0)
+        sinks.append(sink)
+    return sim, switch, sinks
+
+
+def install(switch, **kwargs):
+    assert switch.handle_message(FlowMod(**kwargs).to_bytes()) == []
+
+
+def frame_ab(dst_port=2000):
+    return udp_frame(MACS[0], MACS[1], IPS[0], IPS[1], 1000, dst_port, b"x" * 32)
+
+
+class TestCacheInvalidation:
+    def test_flow_mod_add_invalidates(self):
+        sim, switch, sinks = build_switch()
+        install(
+            switch,
+            match=Match(),
+            priority=1,
+            instructions=[ApplyActions(actions=(OutputAction(port=2),))],
+        )
+        switch.inject(frame_ab(), 1)
+        switch.inject(frame_ab(), 1)  # cache hit
+        assert switch.flow_cache.hits == 1
+        install(
+            switch,
+            match=Match(in_port=1),
+            priority=9,
+            instructions=[ApplyActions(actions=(OutputAction(port=3),))],
+        )
+        assert len(switch.flow_cache) == 0
+        switch.inject(frame_ab(), 1)
+        sim.run()
+        assert len(sinks[1].received) == 2  # before the higher-priority add
+        assert len(sinks[2].received) == 1  # after it
+
+    def test_flow_mod_modify_redirects_cached_flow(self):
+        sim, switch, sinks = build_switch()
+        install(
+            switch,
+            match=Match(in_port=1),
+            instructions=[ApplyActions(actions=(OutputAction(port=2),))],
+        )
+        switch.inject(frame_ab(), 1)
+        switch.inject(frame_ab(), 1)
+        switch.handle_message(
+            FlowMod(
+                command=c.OFPFC_MODIFY,
+                match=Match(in_port=1),
+                instructions=[ApplyActions(actions=(OutputAction(port=3),))],
+            ).to_bytes()
+        )
+        assert len(switch.flow_cache) == 0
+        switch.inject(frame_ab(), 1)
+        sim.run()
+        assert len(sinks[1].received) == 2
+        assert len(sinks[2].received) == 1
+
+    def test_flow_mod_delete_invalidates(self):
+        sim, switch, sinks = build_switch()
+        install(
+            switch,
+            match=Match(in_port=1),
+            instructions=[ApplyActions(actions=(OutputAction(port=2),))],
+        )
+        switch.inject(frame_ab(), 1)
+        switch.handle_message(
+            FlowMod(command=c.OFPFC_DELETE, match=Match()).to_bytes()
+        )
+        assert len(switch.flow_cache) == 0
+        switch.inject(frame_ab(), 1)
+        sim.run()
+        assert len(sinks[1].received) == 1
+        assert switch.packets_dropped == 1
+
+    def test_group_mod_rebinds_cached_walks(self):
+        sim, switch, sinks = build_switch()
+        switch.handle_message(
+            GroupMod(
+                command=c.OFPGC_ADD,
+                group_type=c.OFPGT_INDIRECT,
+                group_id=7,
+                buckets=[Bucket(actions=[OutputAction(port=2)])],
+            ).to_bytes()
+        )
+        install(
+            switch,
+            match=Match(in_port=1),
+            instructions=[ApplyActions(actions=(GroupAction(group_id=7),))],
+        )
+        switch.inject(frame_ab(), 1)
+        switch.inject(frame_ab(), 1)
+        invalidations_before = switch.flow_cache.invalidations
+        switch.handle_message(
+            GroupMod(
+                command=c.OFPGC_MODIFY,
+                group_type=c.OFPGT_INDIRECT,
+                group_id=7,
+                buckets=[Bucket(actions=[OutputAction(port=3)])],
+            ).to_bytes()
+        )
+        assert switch.flow_cache.invalidations == invalidations_before + 1
+        assert len(switch.flow_cache) == 0
+        switch.inject(frame_ab(), 1)
+        sim.run()
+        assert len(sinks[1].received) == 2
+        assert len(sinks[2].received) == 1
+
+    def test_replay_validates_expiry_between_sweeps(self):
+        """A hard timeout landing between sweeper runs must not be served
+        from the cache — replay validation catches it lazily."""
+        sim, switch, sinks = build_switch()
+        # A decoy mortal flow pins the sweeper to fire at 1.0, 2.0, ...
+        install(
+            switch,
+            match=Match(in_port=3),
+            hard_timeout=9,
+            instructions=[],
+        )
+        # The flow under test is installed at t=0.5, so it expires at
+        # t=1.5 — squarely between the sweeps at 1.0 and 2.0.
+        sim.schedule(
+            0.5,
+            lambda: install(
+                switch,
+                match=Match(in_port=1),
+                hard_timeout=1,
+                instructions=[ApplyActions(actions=(OutputAction(port=2),))],
+            ),
+        )
+        sim.schedule(0.7, lambda: switch.inject(frame_ab(), 1))
+        sim.schedule(1.2, lambda: switch.inject(frame_ab(), 1))  # cache hit
+        sim.schedule(1.6, lambda: switch.inject(frame_ab(), 1))  # stale!
+        sim.run(until=1.9)
+        assert len(sinks[1].received) == 2
+        assert switch.packets_dropped == 1
+
+    def test_sweep_invalidates_cache(self):
+        sim, switch, _ = build_switch()
+        install(
+            switch,
+            match=Match(in_port=1),
+            hard_timeout=1,
+            instructions=[ApplyActions(actions=(OutputAction(port=2),))],
+        )
+        switch.inject(frame_ab(), 1)
+        assert len(switch.flow_cache) == 1
+        sim.run(until=3.0)  # sweeper fires, flow expires
+        assert len(switch.flow_cache) == 0
+
+
+# --------------------------------------------------------------------------
+# Satellites: modify-cookie, packet-out buffering, cache unit behaviour
+# --------------------------------------------------------------------------
+
+
+class TestModifyCookie:
+    def _install_with_cookie(self, switch, cookie):
+        install(
+            switch,
+            match=Match(in_port=1),
+            cookie=cookie,
+            instructions=[ApplyActions(actions=(OutputAction(port=2),))],
+        )
+
+    def test_nonzero_cookie_updates(self):
+        _, switch, _ = build_switch()
+        self._install_with_cookie(switch, cookie=0x11)
+        switch.handle_message(
+            FlowMod(
+                command=c.OFPFC_MODIFY,
+                match=Match(in_port=1),
+                cookie=0x99,
+                instructions=[ApplyActions(actions=(OutputAction(port=3),))],
+            ).to_bytes()
+        )
+        (entry,) = list(switch.tables[0])
+        assert entry.cookie == 0x99
+
+    def test_zero_cookie_preserved(self):
+        _, switch, _ = build_switch()
+        self._install_with_cookie(switch, cookie=0x11)
+        switch.handle_message(
+            FlowMod(
+                command=c.OFPFC_MODIFY_STRICT,
+                match=Match(in_port=1),
+                cookie=0,
+                instructions=[ApplyActions(actions=(OutputAction(port=3),))],
+            ).to_bytes()
+        )
+        (entry,) = list(switch.tables[0])
+        assert entry.cookie == 0x11
+
+
+class TestPacketOutBuffering:
+    def test_packet_out_preserves_in_flight_buffers(self):
+        """A packet-out handled mid-walk must not clobber the walk's
+        buffered outputs (the seed reset self._tx_buffer unconditionally)."""
+        sim, switch, sinks = build_switch()
+        pending = (2, EthernetFrame.from_bytes(frame_ab().to_bytes()))
+        switch._tx_buffer.append(pending)  # an in-flight walk's output
+        switch.handle_message(
+            PacketOut(
+                actions=[OutputAction(port=3)], data=frame_ab().to_bytes()
+            ).to_bytes()
+        )
+        sim.run()
+        assert switch._tx_buffer == [pending]  # still owned by the walk
+        assert len(sinks[2].received) == 1  # packet-out still delivered
+
+    def test_packet_out_still_emits(self):
+        sim, switch, sinks = build_switch()
+        switch.handle_message(
+            PacketOut(
+                actions=[OutputAction(port=2)], data=frame_ab().to_bytes()
+            ).to_bytes()
+        )
+        sim.run()
+        assert len(sinks[1].received) == 1
+
+
+class TestFlowCacheUnit:
+    def test_fifo_eviction_bounds_size(self):
+        cache = DatapathFlowCache(max_entries=2)
+        cache.store((1,), CachedPath(steps=()))
+        cache.store((2,), CachedPath(steps=()))
+        cache.store((3,), CachedPath(steps=()))
+        assert len(cache) == 2
+        assert cache.get((1,)) is None  # oldest evicted
+        assert cache.get((3,)) is not None
+
+    def test_restore_does_not_evict(self):
+        cache = DatapathFlowCache(max_entries=2)
+        cache.store((1,), CachedPath(steps=()))
+        cache.store((2,), CachedPath(steps=()))
+        cache.store((2,), CachedPath(steps=(), miss_table=0))  # overwrite
+        assert len(cache) == 2
+        assert cache.get((1,)) is not None
+
+    def test_stats_shape(self):
+        cache = DatapathFlowCache()
+        cache.hits, cache.misses = 3, 1
+        stats = cache.stats()
+        assert stats["hit_rate"] == pytest.approx(0.75)
+        assert stats["size"] == 0
+
+    def test_disabled_fast_path_has_no_cache(self):
+        sim = Simulator()
+        switch = SoftSwitch(
+            sim, "ss", datapath_id=1, cost_model=ZERO_COST, enable_fast_path=False
+        )
+        assert switch.flow_cache is None
+        assert switch.fast_path is False
+
+
+def test_flow_key_field_order_is_stable():
+    """The flow-key layout is a fast-path contract (append-only)."""
+    assert FLOW_KEY_FIELDS[:4] == ("in_port", "eth_dst", "eth_src", "eth_type")
+    assert len(FLOW_KEY_FIELDS) == 14
