@@ -45,7 +45,7 @@ def build_native_dut():
     sim = Simulator()
     switch = SoftSwitch(sim, "native", datapath_id=1, cost_model=ESWITCH_COST_MODEL)
     sink = make_sink(sim, "native")
-    in_port = switch.add_port(1)
+    switch.add_port(1)
     Link(switch.add_port(2), sink.add_port(1), bandwidth_bps=10e9)
     install_port_forward(switch, 1, 2)
     return sim, (lambda frame: switch.inject(frame, 1)), sink

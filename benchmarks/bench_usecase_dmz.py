@@ -62,7 +62,6 @@ def run_matrix():
     cross_total = 0
     names = {host.name: i for i, host in enumerate(hosts)}
     for src in hosts:
-        src_tenant = (names[src.name]) // VMS_PER_TENANT
         oks = len(src.rtts())
         total_pings = len(src.ping_results)
         same_tenant_targets = VMS_PER_TENANT - 1

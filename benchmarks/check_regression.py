@@ -1,0 +1,214 @@
+"""Bench-regression gate: fresh artefacts vs committed baselines.
+
+CI runs the fastpath and churn benches in smoke mode, then this script
+compares the fresh ``results/*.json`` against the committed
+``baselines/*.json`` and fails the workflow on a regression.
+
+Comparison rules:
+
+* **pps metrics** are wall-clock and machine-dependent, so raw ratios
+  against a baseline recorded on a different machine are meaningless.
+  Every pps metric's current/baseline ratio is therefore normalised by
+  the *median* ratio across all pps metrics of that artefact — the
+  median cancels the machine-speed factor, a genuine regression shows
+  up as one row falling away from the pack.  A normalised ratio below
+  ``1 - threshold`` (default: 25% regression) fails the gate.
+* **hit_rate metrics** are machine-independent fractions and are
+  compared absolutely: current below baseline by more than 0.10 fails.
+* **speedup metrics** (ratios of two pps numbers measured on the same
+  machine) are compared directly against ``1 - threshold``.
+
+Metrics present only on one side are reported and skipped, so full-mode
+local runs can be checked against smoke-mode baselines on their common
+rows.
+
+Refresh the baselines after an intentional perf change with::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --fast
+    PYTHONPATH=src python benchmarks/bench_churn.py --fast
+    python benchmarks/check_regression.py --update
+
+and commit the updated ``benchmarks/baselines/*.json``.
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import statistics
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).parent
+BASELINES_DIR = BENCH_DIR / "baselines"
+RESULTS_DIR = BENCH_DIR / "results"
+
+#: Keys that identify a row (workload shape), not measurements.
+IDENTITY_KEYS = ("bench", "config", "kind", "policy", "flows", "masked_entries")
+#: Absolute tolerance for hit-rate metrics (fractions in [0, 1]).
+HIT_RATE_TOLERANCE = 0.10
+
+
+def extract_metrics(node, label="", out=None):
+    """Flatten an artefact into {stable label: numeric metric}.
+
+    Labels are built from the identity keys found along the path, so
+    the same workload row gets the same label in baseline and current
+    artefacts regardless of dict ordering.  Only pps, hit_rate and
+    speedup_* leaves are metrics; everything else (packet counts,
+    raw counters, timings) is workload description or redundant.
+    """
+    if out is None:
+        out = {}
+    if isinstance(node, dict):
+        identity = ",".join(
+            f"{key}={node[key]}"
+            for key in IDENTITY_KEYS
+            if key in node and isinstance(node[key], (str, int))
+        )
+        prefix = f"{label}/{identity}" if identity else label
+        for key, value in sorted(node.items()):
+            if isinstance(value, (dict, list)):
+                extract_metrics(value, f"{prefix}/{key}", out)
+            elif isinstance(value, (int, float)) and (
+                key in ("pps", "hit_rate") or key.startswith("speedup")
+            ):
+                out[f"{prefix}:{key}"] = float(value)
+    elif isinstance(node, list):
+        for item in node:
+            extract_metrics(item, label, out)
+    return out
+
+
+def compare(name, baseline, current, threshold):
+    """Compare one artefact pair; returns (failures, report lines)."""
+    base = extract_metrics(baseline)
+    cur = extract_metrics(current)
+    shared = sorted(set(base) & set(cur))
+    lines = [f"== {name}: {len(shared)} shared metrics =="]
+    for missing in sorted(set(base) - set(cur)):
+        lines.append(f"   (baseline-only, skipped: {missing})")
+    for fresh in sorted(set(cur) - set(base)):
+        lines.append(f"   (new, unbaselined: {fresh})")
+    if not shared:
+        return [f"{name}: no shared metrics between baseline and current"], lines
+
+    pps_labels = [label for label in shared if label.endswith(":pps")]
+    ratios = {label: cur[label] / base[label] for label in pps_labels if base[label]}
+    machine_factor = statistics.median(ratios.values()) if ratios else 1.0
+    lines.append(f"   machine-speed factor (median pps ratio): {machine_factor:.2f}")
+
+    failures = []
+    for label in shared:
+        if label.endswith(":pps"):
+            if not base[label]:
+                continue
+            normalised = ratios[label] / machine_factor
+            verdict = "ok"
+            if normalised < 1.0 - threshold:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: {label} regressed {1 - normalised:.0%} "
+                    f"(baseline {base[label]:.0f} pps, current {cur[label]:.0f} pps, "
+                    f"normalised x{normalised:.2f})"
+                )
+            lines.append(
+                f"   {verdict:>10} {label} x{normalised:.2f} (normalised)"
+            )
+        elif label.endswith(":hit_rate"):
+            delta = cur[label] - base[label]
+            verdict = "ok"
+            if delta < -HIT_RATE_TOLERANCE:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: {label} fell {base[label]:.1%} -> {cur[label]:.1%}"
+                )
+            lines.append(
+                f"   {verdict:>10} {label} {base[label]:.1%} -> {cur[label]:.1%}"
+            )
+        else:  # speedup_*: same-machine ratio, compared directly
+            if not base[label]:
+                continue
+            ratio = cur[label] / base[label]
+            verdict = "ok"
+            if ratio < 1.0 - threshold:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: {label} regressed x{ratio:.2f} "
+                    f"({base[label]:.2f} -> {cur[label]:.2f})"
+                )
+            lines.append(f"   {verdict:>10} {label} x{ratio:.2f}")
+    return failures, lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines", type=pathlib.Path, default=BASELINES_DIR)
+    parser.add_argument("--results", type=pathlib.Path, default=RESULTS_DIR)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative pps regression that fails the gate (default 0.25)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy current results over the baselines instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        result_files = sorted(
+            path
+            for path in args.results.glob("*.json")
+            if path.name != "regression.json"
+        )
+        if not result_files:
+            print(f"no current results under {args.results}", file=sys.stderr)
+            return 1
+        args.baselines.mkdir(exist_ok=True)
+        for result_path in result_files:
+            baseline_path = args.baselines / result_path.name
+            verb = "refreshed" if baseline_path.exists() else "created"
+            shutil.copyfile(result_path, baseline_path)
+            print(f"baseline {verb}: {baseline_path}")
+        return 0
+
+    baseline_files = sorted(args.baselines.glob("*.json"))
+    if not baseline_files:
+        print(f"no baselines under {args.baselines}", file=sys.stderr)
+        return 1
+
+    all_failures = []
+    report = []
+    for baseline_path in baseline_files:
+        result_path = args.results / baseline_path.name
+        if not result_path.exists():
+            all_failures.append(
+                f"{baseline_path.name}: no current result at {result_path} "
+                "(did the bench run?)"
+            )
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        current = json.loads(result_path.read_text())
+        failures, lines = compare(
+            baseline_path.stem, baseline, current, args.threshold
+        )
+        all_failures.extend(failures)
+        report.extend(lines)
+
+    report.append("")
+    if all_failures:
+        report.append(f"FAIL: {len(all_failures)} regression(s)")
+        report.extend(f"  - {failure}" for failure in all_failures)
+    else:
+        report.append("PASS: no bench regressions against committed baselines")
+    text = "\n".join(report)
+    print(text)
+    args.results.mkdir(exist_ok=True)
+    (args.results / "regression.txt").write_text(text + "\n")
+    return 1 if all_failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,11 +16,96 @@ from repro.core import HarmlessManager
 from repro.legacy import LegacySwitch
 from repro.mgmt import DeviceConnection, get_network_driver
 from repro.net import IPv4Address, MACAddress
+from repro.net.build import udp_frame
 from repro.netsim import Host, Link, Simulator
+from repro.netsim.link import wire
+from repro.netsim.node import Node
 from repro.snmp import SnmpAgent, attach_bridge_mib
-from repro.softswitch import ESWITCH_COST_MODEL, SoftSwitch
+from repro.softswitch import ESWITCH_COST_MODEL, DatapathCostModel, SoftSwitch
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Cost-free datapath for wall-clock (Python-level) measurements.
+ZERO_COST = DatapathCostModel(0, 0, 0, 0, 0, 0)
+
+#: Full measurement passes per bench suite (merged per-row by keep_best).
+MEASURE_REPEATS = 3
+
+#: Steady-state working set the wall-clock benches cycle through
+#: (microflow-cache hit rate ~= 1 - active/packets).
+ACTIVE_FLOWS = 64
+
+BENCH_MAC_SRC = MACAddress("02:00:00:00:aa:01")
+BENCH_MAC_DST = MACAddress("02:00:00:00:bb:02")
+
+
+class CountingSink(Node):
+    """A port peer that just counts what it receives."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        super().__init__(sim, name)
+        self.count = 0
+
+    def receive(self, port, frame) -> None:
+        self.count += 1
+
+
+def wire_counting_sinks(sim, switch, packets: int, count: int = 3):
+    """*count* CountingSinks on the switch, queues sized for the burst.
+
+    Everything is injected at t=0, so the drop-tail queues must hold
+    the whole run or the egress links silently tail-drop what the
+    datapath forwarded.
+    """
+    sinks = []
+    for _ in range(count):
+        sink = CountingSink(sim, "sink")
+        wire(
+            switch,
+            sink,
+            bandwidth_bps=None,
+            propagation_delay_s=0.0,
+            queue_frames=packets + 1,
+        )
+        sinks.append(sink)
+    return sinks
+
+
+def bench_flow_addresses(index: int):
+    """The (src, dst) pair of exact bench flow *index*."""
+    return (
+        IPv4Address((10 << 24) | index),
+        IPv4Address((11 << 24) | index),
+    )
+
+
+def steady_traffic(num_flows: int, packets: int, active: int):
+    """Frames cycling a bounded working set spread across the table."""
+    active = min(num_flows, active)
+    stride = max(num_flows // active, 1)
+    frames = []
+    for slot in range(active):
+        index = (slot * stride) % num_flows
+        src, dst = bench_flow_addresses(index)
+        frames.append(
+            udp_frame(BENCH_MAC_SRC, BENCH_MAC_DST, src, dst, 1000, 2000, b"x" * 32)
+        )
+    return [frames[i % active] for i in range(packets)]
+
+
+def keep_best(best: dict, key, row: dict) -> None:
+    """Keep the higher-pps *row* for *key* in *best* (noise suppression).
+
+    The CI regression gate compares individual rows against committed
+    baselines, and a single wall-clock measurement moves by more than a
+    real regression threshold when the runner's scheduler hiccups.
+    Benches therefore run the whole measurement pass N times and merge
+    with this helper: interference must persist across *every* pass to
+    depress a published number, while genuine regressions (which affect
+    all passes equally) still show.
+    """
+    if key not in best or row["pps"] > best[key]["pps"]:
+        best[key] = row
 
 
 def save_result(name: str, text: str) -> None:

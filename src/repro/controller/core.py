@@ -220,4 +220,5 @@ class Controller:
             app.on_message(datapath, message)
 
 
-from repro.controller.app import ControllerApp  # noqa: E402  (cycle break)
+# Cycle break; also resolves the string annotations above at runtime.
+from repro.controller.app import ControllerApp  # noqa: E402,F401

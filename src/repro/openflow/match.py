@@ -92,6 +92,9 @@ class Match:
         self._fields: dict[str, MatchField] = {}
         self._compiled: "tuple[tuple[int, int, int], ...] | None" = None
         self._exact_key: "tuple[tuple[str, ...], tuple[int, ...]] | None | bool" = False
+        self._mask_key: (
+            "tuple[tuple[tuple[int, int], ...], tuple[int, ...]] | None"
+        ) = None
         for name, spec in fields.items():
             if isinstance(spec, tuple):
                 value, mask = spec
@@ -178,6 +181,32 @@ class Match:
             values.append(constraint.value)
         self._exact_key = (names, tuple(values))
         return self._exact_key
+
+    def mask_key(self) -> "tuple[tuple[tuple[int, int], ...], tuple[int, ...]]":
+        """Canonical (mask-set, masked values) fingerprint of this match.
+
+        The mask-set is the tuple of (flow-key slot, effective mask)
+        pairs in slot order; the values are each constraint's value
+        pre-masked.  Every Match constraining the same fields with the
+        same masks shares a mask-set, so a classifier can group entries
+        into one staged subtable per distinct mask-set and probe each
+        with ``key[slot] & mask`` pulled straight from a packet's flow
+        key.  Defined for every match (exact matches simply carry
+        all-ones masks).
+        """
+        cached = self._mask_key
+        if cached is not None:
+            return cached
+        names = sorted(self._fields, key=FIELD_INDEX.__getitem__)
+        mask_set = []
+        values = []
+        for name in names:
+            constraint = self._fields[name]
+            mask = constraint.effective_mask
+            mask_set.append((FIELD_INDEX[name], mask))
+            values.append(constraint.value & mask)
+        self._mask_key = (tuple(mask_set), tuple(values))
+        return self._mask_key
 
     def is_subset_of(self, other: "Match") -> bool:
         """True if every packet matching self also matches *other*.

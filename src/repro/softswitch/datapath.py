@@ -259,11 +259,16 @@ class SoftSwitch(Node):
         action_set: dict[str, Action] = {}
         current = frame
         steps: "list[tuple[int, FlowEntry]]" = []
+        #: (table id, flow key the lookup used there) — the dependency
+        #: record a later FlowMod ADD is tested against.
+        visits: "list[tuple[int, tuple[int | None, ...]]]" = []
         cache = self.flow_cache
         while table_id < len(self.tables):
             if view.frame is not current:
                 view = PacketView(current, in_port)
             table = self.tables[table_id]
+            if cache is not None:
+                visits.append((table_id, view.flow_key()))
             entry = (
                 table.lookup(view, now)
                 if self.fast_path
@@ -273,7 +278,15 @@ class SoftSwitch(Node):
             if entry is None:
                 self.packets_dropped += 1
                 if cache is not None:
-                    cache.store(key, CachedPath(steps=tuple(steps), miss_table=table_id))
+                    cache.store(
+                        key,
+                        CachedPath(
+                            steps=tuple(steps),
+                            miss_table=table_id,
+                            visits=tuple(visits),
+                            group_ids=self._group_refs(steps),
+                        ),
+                    )
                 return
             steps.append((table_id, entry))
             current, next_table = self._execute_entry(
@@ -287,12 +300,36 @@ class SoftSwitch(Node):
                 )
             table_id = next_table
         if cache is not None:
-            cache.store(key, CachedPath(steps=tuple(steps)))
+            cache.store(
+                key,
+                CachedPath(
+                    steps=tuple(steps),
+                    visits=tuple(visits),
+                    group_ids=self._group_refs(steps),
+                ),
+            )
         if action_set:
             ordered = self._order_action_set(action_set)
             self._apply_actions(ordered, current, in_port, stats)
         # No action set and no outputs along the way: packet is dropped
         # implicitly (already accounted where applicable).
+
+    @staticmethod
+    def _group_refs(steps: "list[tuple[int, FlowEntry]]") -> tuple[int, ...]:
+        """Groups referenced by the matched entries' instructions.
+
+        Direct references only: replay executes group actions against
+        the live group table, so bucket contents (including nested
+        group chains) are always read fresh — the dependency exists to
+        drop memoised walks whose behaviour a GroupMod redirects.
+        """
+        refs = []
+        for _, entry in steps:
+            for instruction in entry.instructions:
+                for action in getattr(instruction, "actions", ()):
+                    if isinstance(action, GroupAction):
+                        refs.append(action.group_id)
+        return tuple(refs)
 
     def _execute_entry(
         self,
@@ -483,19 +520,17 @@ class SoftSwitch(Node):
             ).to_bytes()
         ]
 
-    def _invalidate_fast_path(self) -> None:
-        if self.flow_cache is not None:
-            self.flow_cache.invalidate()
-
     def _handle_flow_mod(self, message: FlowMod) -> "ErrorMsg | None":
         if message.table_id >= len(self.tables):
             return ErrorMsg(xid=message.xid, error_type=5, code=2)  # bad table
         table = self.tables[message.table_id]
+        cache = self.flow_cache
         now = self.sim.now
         # Every state-changing FlowMod below invalidates the microflow
-        # cache: add/delete/modify all change which entry a memoised
-        # walk would pick or what it would do.  No-ops (delete that
-        # removes nothing, rejected commands) keep the cache warm.
+        # cache *dependency-scoped*: only memoised walks the change can
+        # actually redirect are dropped, so churn against unrelated
+        # tables or masks keeps the cache warm (as do no-ops: deletes
+        # that remove nothing, rejected commands).
         if message.command == c.OFPFC_ADD:
             if message.idle_timeout or message.hard_timeout:
                 self._ensure_sweeper()
@@ -511,7 +546,10 @@ class SoftSwitch(Node):
                 ),
                 now,
             )
-            self._invalidate_fast_path()
+            if cache is not None:
+                cache.invalidate_for_add(
+                    message.table_id, message.match, message.priority
+                )
             return None
         if message.command in (c.OFPFC_DELETE, c.OFPFC_DELETE_STRICT):
             removed = table.delete(
@@ -521,8 +559,8 @@ class SoftSwitch(Node):
                 cookie=message.cookie,
                 cookie_mask=message.cookie_mask,
             )
-            if removed:
-                self._invalidate_fast_path()
+            if removed and cache is not None:
+                cache.invalidate_entries(removed)
             for entry in removed:
                 if entry.send_flow_removed:
                     self._send_async(
@@ -539,7 +577,7 @@ class SoftSwitch(Node):
                     )
             return None
         if message.command in (c.OFPFC_MODIFY, c.OFPFC_MODIFY_STRICT):
-            modified = False
+            modified = []
             for entry in table:
                 same_priority = (
                     entry.priority == message.priority
@@ -549,9 +587,9 @@ class SoftSwitch(Node):
                     entry.instructions = list(message.instructions)
                     if message.cookie:
                         entry.cookie = message.cookie
-                    modified = True
-            if modified:
-                self._invalidate_fast_path()
+                    modified.append(entry)
+            if modified and cache is not None:
+                cache.invalidate_entries(modified)
             return None
         return ErrorMsg(xid=message.xid, error_type=4, code=0)  # bad command
 
@@ -569,9 +607,10 @@ class SoftSwitch(Node):
                 return ErrorMsg(xid=message.xid, error_type=6, code=0)
         except (ValueError, KeyError):
             return ErrorMsg(xid=message.xid, error_type=6, code=1)
-        # Bucket changes redirect memoised walks that execute group
-        # actions; drop them all (correctness over retention).
-        self._invalidate_fast_path()
+        # Bucket changes redirect memoised walks whose matched entries
+        # reference this group; walks using other groups (or none) stay.
+        if self.flow_cache is not None:
+            self.flow_cache.invalidate_group(message.group_id)
         return None
 
     def _handle_packet_out(self, message: PacketOut) -> None:
@@ -637,8 +676,8 @@ class SoftSwitch(Node):
         any_mortal_flows = False
         for table in self.tables:
             expired = table.expire(now)
-            if expired:
-                self._invalidate_fast_path()
+            if expired and self.flow_cache is not None:
+                self.flow_cache.invalidate_entries(expired)
             for entry in expired:
                 if entry.send_flow_removed:
                     reason = (

@@ -7,8 +7,14 @@ Lookup is two-tier, the slow-path half of the OVS-style datapath:
   table from the value tuple (pulled straight out of a packet's flow
   key) to the entries carrying those values.  One dict probe per
   distinct field-set replaces a scan over every exact entry.
-* **masked fallback** — entries with partial masks stay on a
-  priority-ordered linear list, exactly the seed algorithm.
+* **staged subtables** — entries with partial masks are grouped into
+  one :class:`Subtable` per distinct mask-set (the canonical
+  ``Match.mask_key()`` fingerprint).  Each subtable is a hash table
+  from the masked value tuple to the entries carrying those values, so
+  a masked lookup costs one probe per *distinct mask-set* instead of
+  one test per masked entry.  Subtables are searched in descending
+  max-priority order with early termination, OVS's staged-lookup
+  trick.
 
 The candidates from both tiers are arbitrated by the same total order
 the seed used, so lookup results are bit-identical to a pure linear
@@ -75,6 +81,77 @@ class FlowEntry:
 _SORT_KEY = attrgetter("sort_key")
 
 
+class Subtable:
+    """One staged bucket group: every masked entry sharing a mask-set.
+
+    ``buckets`` maps the masked value tuple to the entries carrying
+    those values, sorted by the table-wide arbitration order — within a
+    bucket every entry matches exactly the same packets, so the first
+    live one is the bucket's best candidate.  ``max_priority`` bounds
+    what any entry in the subtable can contribute; the classifier sorts
+    subtables on it and stops probing as soon as no remaining subtable
+    can beat the best candidate found so far.
+    """
+
+    __slots__ = ("mask_set", "buckets", "max_priority", "_priority_counts", "seq")
+
+    def __init__(self, mask_set: "tuple[tuple[int, int], ...]", seq: int) -> None:
+        self.mask_set = mask_set
+        self.buckets: "dict[tuple[int, ...], list[FlowEntry]]" = {}
+        self.max_priority = -1
+        self._priority_counts: dict[int, int] = {}
+        #: Creation sequence — tie-breaks the staged sort so equal
+        #: max-priority subtables keep a deterministic probe order.
+        self.seq = seq
+
+    def __len__(self) -> int:
+        return sum(len(chain) for chain in self.buckets.values())
+
+    def add(self, values: "tuple[int, ...]", entry: FlowEntry) -> None:
+        chain = self.buckets.get(values)
+        if chain is None:
+            self.buckets[values] = [entry]
+        else:
+            bisect.insort(chain, entry, key=_SORT_KEY)
+        count = self._priority_counts.get(entry.priority, 0)
+        self._priority_counts[entry.priority] = count + 1
+        if entry.priority > self.max_priority:
+            self.max_priority = entry.priority
+
+    def remove(self, values: "tuple[int, ...]", entry: FlowEntry) -> None:
+        chain = self.buckets[values]
+        chain.remove(entry)
+        if not chain:
+            del self.buckets[values]
+        count = self._priority_counts[entry.priority] - 1
+        if count:
+            self._priority_counts[entry.priority] = count
+        else:
+            del self._priority_counts[entry.priority]
+            if entry.priority == self.max_priority:
+                self.max_priority = (
+                    max(self._priority_counts) if self._priority_counts else -1
+                )
+
+    def probe(
+        self, key: "tuple[int | None, ...]", now: float
+    ) -> Optional[FlowEntry]:
+        """The subtable's best live entry matching *key*, if any."""
+        values = []
+        for slot, mask in self.mask_set:
+            packet_value = key[slot]
+            if packet_value is None:
+                return None  # a constraint on an absent field never matches
+            values.append(packet_value & mask)
+        chain = self.buckets.get(tuple(values))
+        if not chain:
+            return None
+        for entry in chain:
+            if not entry.is_expired(now):
+                return entry
+        return None
+
+
 class FlowTable:
     """One numbered table of a pipeline.
 
@@ -96,8 +173,12 @@ class FlowTable:
         self._exact: dict[tuple[str, ...], dict[tuple[int, ...], list[FlowEntry]]] = {}
         #: field-set -> flow-key slots probed for that bucket group
         self._exact_slots: dict[tuple[str, ...], tuple[int, ...]] = {}
-        #: entries with partial masks, sorted by sort_key (seed order)
-        self._masked: list[FlowEntry] = []
+        #: mask-set fingerprint -> staged subtable of masked entries
+        self._subtables: "dict[tuple[tuple[int, int], ...], Subtable]" = {}
+        #: subtables sorted by (-max_priority, seq); resorted lazily
+        self._staged: list[Subtable] = []
+        self._staged_dirty = False
+        self._subtable_seq = 0
         self.lookups = 0
         self.matches = 0
 
@@ -133,7 +214,9 @@ class FlowTable:
         """
         exact = entry.match.exact_key()
         if exact is None:
-            candidates = self._masked
+            mask_set, values = entry.match.mask_key()
+            subtable = self._subtables.get(mask_set)
+            candidates = subtable.buckets.get(values, ()) if subtable else ()
         else:
             names, values = exact
             candidates = self._exact.get(names, {}).get(values, ())
@@ -152,7 +235,15 @@ class FlowTable:
     def _index_add(self, entry: FlowEntry) -> None:
         exact = entry.match.exact_key()
         if exact is None:
-            bisect.insort(self._masked, entry, key=_SORT_KEY)
+            mask_set, values = entry.match.mask_key()
+            subtable = self._subtables.get(mask_set)
+            if subtable is None:
+                subtable = Subtable(mask_set, self._subtable_seq)
+                self._subtable_seq += 1
+                self._subtables[mask_set] = subtable
+                self._staged.append(subtable)
+            subtable.add(values, entry)
+            self._staged_dirty = True
             return
         names, values = exact
         buckets = self._exact.get(names)
@@ -168,7 +259,14 @@ class FlowTable:
     def _index_remove(self, entry: FlowEntry) -> None:
         exact = entry.match.exact_key()
         if exact is None:
-            self._masked.remove(entry)
+            mask_set, values = entry.match.mask_key()
+            subtable = self._subtables[mask_set]
+            subtable.remove(values, entry)
+            if not subtable.buckets:
+                del self._subtables[mask_set]
+                self._staged.remove(subtable)
+            else:
+                self._staged_dirty = True
             return
         names, values = exact
         buckets = self._exact[names]
@@ -205,14 +303,29 @@ class FlowTable:
                 if best is None or entry.sort_key < best.sort_key:
                     best = entry
                 break  # chain is sorted: first live one is its best
-        for entry in self._masked:
-            if best is not None and entry.sort_key > best.sort_key:
-                break  # sorted: no later masked entry can win
-            if entry.is_expired(now):
-                continue
-            if entry.match.matches_key(key):
-                return entry  # beats best by order, ends the search
+        for subtable in self._staged_in_order():
+            if best is not None and -subtable.max_priority > best.sort_key[0]:
+                break  # staged order: no remaining subtable can win
+            entry = subtable.probe(key, now)
+            if entry is not None and (best is None or entry.sort_key < best.sort_key):
+                best = entry
         return best
+
+    def _staged_in_order(self) -> "list[Subtable]":
+        """Subtables sorted by (-max_priority, seq), re-sorted lazily."""
+        if self._staged_dirty:
+            self._staged.sort(key=lambda s: (-s.max_priority, s.seq))
+            self._staged_dirty = False
+        return self._staged
+
+    @property
+    def subtable_count(self) -> int:
+        """How many distinct mask-sets the masked tier holds."""
+        return len(self._subtables)
+
+    def staged_order(self) -> "list[tuple[tuple[int, int], ...]]":
+        """Mask-sets in probe order (test/bench introspection)."""
+        return [subtable.mask_set for subtable in self._staged_in_order()]
 
     def linear_lookup(self, view: PacketView, now: float) -> Optional[FlowEntry]:
         """The seed O(n) scan, kept as the differential-test reference."""

@@ -64,7 +64,6 @@ class TestLoadBalancerUseCase:
 
     def build(self, num_clients=6, num_backends=2):
         total = num_clients + num_backends
-        backends_spec = []
         apps_holder = []
 
         # Hosts 1..num_clients are clients; the rest are backends.

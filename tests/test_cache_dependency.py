@@ -1,0 +1,420 @@
+"""Dependency-indexed microflow invalidation.
+
+The microflow cache no longer flushes wholesale on control-plane
+mutations: each memoised walk registers against the tables it visited
+(with its per-table lookup key), the entries it matched and the groups
+those entries reference, and FlowMod/GroupMod/expiry drop only the
+dependent walks.  These tests pin the scoping rules — what *must*
+survive a mutation and what *must not* — plus the stats contract that
+lets benchmarks prove invalidation really is partial.
+"""
+
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.build import udp_frame
+from repro.netsim import Simulator
+from repro.netsim.link import wire
+from repro.netsim.node import Node
+from repro.openflow import (
+    ApplyActions,
+    Bucket,
+    FlowMod,
+    GotoTable,
+    GroupAction,
+    GroupMod,
+    Match,
+    OutputAction,
+    SetFieldAction,
+)
+from repro.openflow import consts as c
+from repro.softswitch import DatapathCostModel, SoftSwitch
+from repro.softswitch.fastpath import CachedPath, DatapathFlowCache
+from repro.softswitch.flowtable import FlowEntry
+
+ZERO_COST = DatapathCostModel(0, 0, 0, 0, 0, 0)
+
+MAC_A = MACAddress("02:00:00:00:00:01")
+MAC_B = MACAddress("02:00:00:00:00:02")
+MAC_C = MACAddress("02:00:00:00:00:03")
+
+
+class Sink(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, port, frame):
+        self.received.append(frame.to_bytes())
+
+
+def build_switch(num_sinks=3, num_tables=4):
+    sim = Simulator()
+    switch = SoftSwitch(
+        sim, "ss", datapath_id=1, cost_model=ZERO_COST, num_tables=num_tables
+    )
+    sinks = []
+    for index in range(num_sinks):
+        sink = Sink(sim, f"sink{index + 1}")
+        wire(switch, sink, bandwidth_bps=None, propagation_delay_s=0.0)
+        sinks.append(sink)
+    return sim, switch, sinks
+
+
+def send(switch, message):
+    assert switch.handle_message(message.to_bytes()) == []
+
+
+def install(switch, **kwargs):
+    send(switch, FlowMod(**kwargs))
+
+
+def flow_frame(dst_ip="10.0.0.2", dst_port=2000):
+    return udp_frame(
+        MAC_A, MAC_B, IPv4Address("10.0.0.1"), IPv4Address(dst_ip), 1000, dst_port, b"x"
+    )
+
+
+def output(port):
+    return [ApplyActions(actions=(OutputAction(port=port),))]
+
+
+class TestScopedFlowModAdd:
+    def _warm(self, switch):
+        """One forwarding rule in table 0, two cached flows."""
+        install(switch, match=Match(in_port=1), priority=1, instructions=output(2))
+        switch.inject(flow_frame("10.0.0.2"), 1)
+        switch.inject(flow_frame("10.0.0.3"), 1)
+        assert len(switch.flow_cache) == 2
+
+    def test_unrelated_table_add_keeps_cache(self):
+        _, switch, _ = build_switch()
+        self._warm(switch)
+        install(
+            switch,
+            table_id=2,
+            match=Match(in_port=1),
+            priority=9,
+            instructions=output(3),
+        )
+        assert len(switch.flow_cache) == 2  # walks never visited table 2
+        switch.inject(flow_frame("10.0.0.2"), 1)
+        assert switch.flow_cache.hits == 1
+
+    def test_unrelated_mask_add_keeps_cache(self):
+        _, switch, _ = build_switch()
+        self._warm(switch)
+        # Higher priority, same table — but a prefix no cached key hits.
+        install(
+            switch,
+            match=Match(eth_type=0x0800, ipv4_dst=("192.168.0.0", "255.255.0.0")),
+            priority=9,
+            instructions=output(3),
+        )
+        assert len(switch.flow_cache) == 2
+
+    def test_related_mask_add_drops_only_matching_walks(self):
+        _, switch, _ = build_switch()
+        self._warm(switch)
+        install(
+            switch,
+            match=Match(eth_type=0x0800, ipv4_dst="10.0.0.3"),
+            priority=9,
+            instructions=output(3),
+        )
+        assert len(switch.flow_cache) == 1  # only the .3 walk depended
+
+    def test_lower_priority_add_keeps_cache(self):
+        _, switch, _ = build_switch()
+        self._warm(switch)
+        # Matches every cached key but can never win the arbitration.
+        install(switch, match=Match(), priority=0, instructions=output(3))
+        assert len(switch.flow_cache) == 2
+
+    def test_equal_priority_add_is_conservative(self):
+        """Ties resolve to the incumbent, but a replacement ADD carries
+        the incumbent's priority — equal priority must invalidate."""
+        _, switch, _ = build_switch()
+        self._warm(switch)
+        install(switch, match=Match(in_port=1), priority=1, instructions=output(3))
+        assert len(switch.flow_cache) == 0
+
+    def test_higher_priority_add_redirects(self):
+        sim, switch, sinks = build_switch()
+        self._warm(switch)
+        install(switch, match=Match(in_port=1), priority=9, instructions=output(3))
+        assert len(switch.flow_cache) == 0
+        switch.inject(flow_frame("10.0.0.2"), 1)
+        sim.run()
+        assert len(sinks[1].received) == 2  # the two pre-add packets
+        assert len(sinks[2].received) == 1  # redirected after the add
+
+    def test_miss_walk_invalidated_by_matching_add(self):
+        sim, switch, sinks = build_switch()
+        switch.inject(flow_frame(), 1)  # table-miss drop, memoised
+        switch.inject(flow_frame(), 1)
+        assert switch.flow_cache.hits == 1
+        assert switch.packets_dropped == 2
+        install(switch, match=Match(in_port=1), priority=0, instructions=output(2))
+        assert len(switch.flow_cache) == 0  # any matching add redirects a miss
+        switch.inject(flow_frame(), 1)
+        sim.run()
+        assert len(sinks[1].received) == 1
+
+    def test_miss_walk_survives_unrelated_add(self):
+        _, switch, _ = build_switch()
+        switch.inject(flow_frame(), 1)
+        install(switch, match=Match(in_port=2), priority=9, instructions=output(2))
+        assert len(switch.flow_cache) == 1
+
+    def test_rewritten_key_tested_against_adds(self):
+        """Set-field rewrites mid-walk: the dependency record must hold
+        the *rewritten* key for later tables, or an ADD matching only
+        the rewritten packet would leave a stale walk behind."""
+        sim, switch, sinks = build_switch()
+        install(
+            switch,
+            match=Match(in_port=1),
+            priority=5,
+            instructions=[
+                ApplyActions(actions=(SetFieldAction(field="eth_dst", value=int(MAC_C)),)),
+                GotoTable(table_id=1),
+            ],
+        )
+        install(switch, table_id=1, match=Match(), priority=0, instructions=output(2))
+        switch.inject(flow_frame(), 1)
+        assert len(switch.flow_cache) == 1
+        # This match misses the ingress key (eth_dst=MAC_B) but hits the
+        # rewritten key seen by table 1 (eth_dst=MAC_C).
+        install(
+            switch,
+            table_id=1,
+            match=Match(eth_dst=int(MAC_C)),
+            priority=9,
+            instructions=output(3),
+        )
+        assert len(switch.flow_cache) == 0
+        switch.inject(flow_frame(), 1)
+        sim.run()
+        assert len(sinks[1].received) == 1
+        assert len(sinks[2].received) == 1
+
+
+class TestScopedDeleteModifyExpiry:
+    def _two_flows(self, switch):
+        install(
+            switch,
+            match=Match(eth_type=0x0800, udp_dst=2000),
+            priority=5,
+            instructions=output(2),
+        )
+        install(
+            switch,
+            match=Match(eth_type=0x0800, udp_dst=3000),
+            priority=5,
+            instructions=output(3),
+        )
+        switch.inject(flow_frame(dst_port=2000), 1)
+        switch.inject(flow_frame(dst_port=3000), 1)
+        assert len(switch.flow_cache) == 2
+
+    def test_delete_drops_only_dependent_walks(self):
+        _, switch, _ = build_switch()
+        self._two_flows(switch)
+        send(
+            switch,
+            FlowMod(
+                command=c.OFPFC_DELETE,
+                match=Match(eth_type=0x0800, udp_dst=3000),
+            ),
+        )
+        assert len(switch.flow_cache) == 1
+        switch.inject(flow_frame(dst_port=2000), 1)
+        assert switch.flow_cache.hits == 1  # the surviving walk still serves
+
+    def test_noop_delete_keeps_cache_warm(self):
+        _, switch, _ = build_switch()
+        self._two_flows(switch)
+        invalidations = switch.flow_cache.invalidations
+        send(
+            switch,
+            FlowMod(command=c.OFPFC_DELETE, match=Match(eth_type=0x0800, udp_dst=4000)),
+        )
+        assert len(switch.flow_cache) == 2
+        assert switch.flow_cache.invalidations == invalidations
+
+    def test_modify_drops_only_dependent_walks(self):
+        _, switch, _ = build_switch()
+        self._two_flows(switch)
+        send(
+            switch,
+            FlowMod(
+                command=c.OFPFC_MODIFY,
+                match=Match(eth_type=0x0800, udp_dst=3000),
+                instructions=output(1),
+            ),
+        )
+        assert len(switch.flow_cache) == 1
+
+    def test_expiry_drops_only_dependent_walks(self):
+        sim, switch, _ = build_switch()
+        install(
+            switch,
+            match=Match(eth_type=0x0800, udp_dst=2000),
+            priority=5,
+            instructions=output(2),
+        )
+        install(
+            switch,
+            match=Match(eth_type=0x0800, udp_dst=3000),
+            priority=5,
+            hard_timeout=1,
+            instructions=output(3),
+        )
+        switch.inject(flow_frame(dst_port=2000), 1)
+        switch.inject(flow_frame(dst_port=3000), 1)
+        assert len(switch.flow_cache) == 2
+        sim.run(until=3.0)  # sweeper expires the mortal flow
+        assert len(switch.flow_cache) == 1
+        switch.inject(flow_frame(dst_port=2000), 1)
+        assert switch.flow_cache.hits == 1
+
+
+class TestScopedGroupMod:
+    def _group(self, switch, group_id, port):
+        send(
+            switch,
+            GroupMod(
+                command=c.OFPGC_ADD,
+                group_type=c.OFPGT_INDIRECT,
+                group_id=group_id,
+                buckets=[Bucket(actions=[OutputAction(port=port)])],
+            ),
+        )
+
+    def test_group_mod_drops_only_walks_using_the_group(self):
+        sim, switch, sinks = build_switch()
+        self._group(switch, 1, 2)
+        self._group(switch, 2, 3)
+        install(
+            switch,
+            match=Match(eth_type=0x0800, udp_dst=2000),
+            priority=5,
+            instructions=[ApplyActions(actions=(GroupAction(group_id=1),))],
+        )
+        install(
+            switch,
+            match=Match(eth_type=0x0800, udp_dst=3000),
+            priority=5,
+            instructions=[ApplyActions(actions=(GroupAction(group_id=2),))],
+        )
+        switch.inject(flow_frame(dst_port=2000), 1)
+        switch.inject(flow_frame(dst_port=3000), 1)
+        assert len(switch.flow_cache) == 2
+        send(
+            switch,
+            GroupMod(
+                command=c.OFPGC_MODIFY,
+                group_type=c.OFPGT_INDIRECT,
+                group_id=1,
+                buckets=[Bucket(actions=[OutputAction(port=1)])],
+            ),
+        )
+        assert len(switch.flow_cache) == 1  # only the group-1 walk dropped
+        switch.inject(flow_frame(dst_port=3000), 1)
+        sim.run()
+        assert switch.flow_cache.hits == 1
+
+
+class TestStatsContract:
+    def test_scoped_vs_full_counters(self):
+        _, switch, _ = build_switch()
+        install(switch, match=Match(in_port=1), priority=1, instructions=output(2))
+        switch.inject(flow_frame(), 1)
+        cache = switch.flow_cache
+        stats = cache.stats()
+        assert stats["full_invalidations"] == 0
+        assert stats["scoped_invalidations"] == 1  # the install above
+        install(
+            switch, table_id=2, match=Match(in_port=1), priority=9, instructions=[]
+        )
+        cache.invalidate()
+        stats = cache.stats()
+        assert stats["scoped_invalidations"] == 2
+        assert stats["full_invalidations"] == 1
+        assert stats["invalidations"] == 3
+        assert stats["paths_dropped"] == 1  # only the full flush dropped it
+        assert stats["size"] == 0
+
+    def test_paths_dropped_counts_scoped_work(self):
+        cache = DatapathFlowCache()
+        entry = FlowEntry(match=Match(in_port=1), priority=1)
+        entry.sort_key = (-1, 0.0, 0)
+        path = CachedPath(
+            steps=((0, entry),), visits=((0, (1,) + (None,) * 13),)
+        )
+        cache.store((1,) + (None,) * 13, path)
+        dropped = cache.invalidate_entries([entry])
+        assert dropped == 1
+        assert cache.stats()["paths_dropped"] == 1
+        assert len(cache) == 0
+
+    def test_eviction_deregisters_dependencies(self):
+        cache = DatapathFlowCache(max_entries=1)
+        first = FlowEntry(match=Match(in_port=1), priority=1)
+        second = FlowEntry(match=Match(in_port=2), priority=1)
+        key_a = (1,) + (None,) * 13
+        key_b = (2,) + (None,) * 13
+        cache.store(key_a, CachedPath(steps=((0, first),), visits=((0, key_a),)))
+        cache.store(key_b, CachedPath(steps=((0, second),), visits=((0, key_b),)))
+        assert len(cache) == 1
+        assert cache.get(key_a) is None  # FIFO evicted
+        # The evicted walk's dependencies must be gone with it.
+        assert cache.invalidate_entries([first]) == 0
+        assert cache.invalidate_entries([second]) == 1
+
+    def test_store_overwrite_replaces_dependencies(self):
+        cache = DatapathFlowCache()
+        old = FlowEntry(match=Match(in_port=1), priority=1)
+        new = FlowEntry(match=Match(in_port=1), priority=2)
+        key = (1,) + (None,) * 13
+        cache.store(key, CachedPath(steps=((0, old),), visits=((0, key),)))
+        cache.store(key, CachedPath(steps=((0, new),), visits=((0, key),)))
+        assert len(cache) == 1
+        assert cache.invalidate_entries([old]) == 0
+        assert cache.invalidate_entries([new]) == 1
+
+
+class TestChurnSteadyState:
+    def test_hit_rate_survives_unrelated_table_churn(self):
+        """The acceptance scenario in miniature: steady traffic over
+        installed flows while a controller hammers an unrelated table.
+        Whole-cache invalidation would pin the hit rate near zero."""
+        _, switch, _ = build_switch()
+        num_flows = 100
+        for index in range(num_flows):
+            install(
+                switch,
+                match=Match(eth_type=0x0800, ipv4_dst=f"10.0.{index // 250}.{index % 250 + 1}"),
+                priority=5,
+                instructions=output(index % 3 + 1),
+            )
+        install(switch, match=Match(), priority=0, instructions=[])
+        working_set = [
+            flow_frame(f"10.0.{index // 250}.{index % 250 + 1}")
+            for index in range(16)
+        ]
+        churn_seq = 0
+        for round_index in range(50):
+            for frame in working_set:
+                switch.inject(frame, 1)
+            # One unrelated-table FlowMod per 16 packets — sustained churn.
+            churn_seq += 1
+            install(
+                switch,
+                table_id=3,
+                match=Match(eth_type=0x0800, udp_dst=(churn_seq % 60000) + 1),
+                priority=7,
+                instructions=[],
+            )
+        cache = switch.flow_cache
+        assert cache.stats()["scoped_invalidations"] >= 50
+        assert cache.hit_rate > 0.9, cache.stats()

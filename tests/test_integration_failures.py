@@ -48,7 +48,7 @@ class TestTrunkFailure:
     def test_trunk_down_stops_everything(self):
         """With HARMLESS, the trunk is the artery: cut it, island dies."""
         sim, legacy, (h1, h2, _), driver, manager = build_site()
-        deployment = manager.migrate(legacy, driver, trunk_port=4)
+        manager.migrate(legacy, driver, trunk_port=4)
         sim.run(until=0.05)
         h1.ping(h2.ip)
         sim.run(until=1.0)

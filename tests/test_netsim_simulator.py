@@ -258,7 +258,7 @@ class TestLink:
     def test_double_wire_rejected(self):
         sim = Simulator()
         a, b, c = Sink(sim, "a"), Sink(sim, "b"), Sink(sim, "c")
-        link = wire(a, b)
+        wire(a, b)
         with pytest.raises(ValueError):
             Link(a.port(1), c.add_port())
 
@@ -288,7 +288,7 @@ class TestCapture:
     def test_records_both_directions(self):
         sim = Simulator()
         a, b = Sink(sim, "a"), Sink(sim, "b")
-        link = wire(a, b)
+        wire(a, b)
         capture = Capture("test").attach(a.port(1), b.port(1))
         a.port(1).send(make_frame())
         sim.run()
