@@ -49,6 +49,9 @@ class CountingSink(Node):
     def receive(self, port, frame) -> None:
         self.count += 1
 
+    def receive_burst(self, port, arrivals) -> None:
+        self.count += len(arrivals)
+
 
 def wire_counting_sinks(sim, switch, packets: int, count: int = 3):
     """*count* CountingSinks on the switch, queues sized for the burst.

@@ -9,7 +9,7 @@ right is what makes the latency benchmark meaningful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.net.ethernet import EthernetFrame
 from repro.netsim.node import Port
@@ -30,6 +30,10 @@ class LinkStats:
     bytes: int = 0
     drops: int = 0
     busy_time: float = 0.0
+    #: Highest simultaneous queue occupancy the direction ever saw —
+    #: lets burst benches assert that bursts actually queued rather
+    #: than silently serialising one frame at a time.
+    queue_hwm: int = 0
 
 
 class _Direction:
@@ -110,6 +114,8 @@ class Link:
         direction.stats.frames += 1
         direction.stats.bytes += frame.wire_length
         direction.stats.busy_time += serialization
+        if direction.queued > direction.stats.queue_hwm:
+            direction.stats.queue_hwm = direction.queued
 
         arrival = finish + self.propagation_delay_s
 
@@ -119,6 +125,63 @@ class Link:
 
         self.sim.schedule_at(arrival, deliver)
         return True
+
+    def transmit_burst(self, from_port: Port, frames: "list[EthernetFrame]") -> int:
+        """Queue a burst for the far end; returns how many frames fit.
+
+        Each frame is serialised individually — per-frame start/finish
+        times, byte accounting and tail-drop behave exactly like
+        *len(frames)* sequential :meth:`transmit` calls — but the whole
+        accepted burst rides **one** simulator event, scheduled at the
+        burst drain (the last frame's arrival).  The per-frame arrival
+        times are preserved in the delivered payload, so receivers that
+        care about wire timing still see it; the coalescing trade is
+        that earlier frames are *handed over* at drain time (and the
+        queue occupancy drains all at once) rather than one event each.
+        """
+        direction = self._directions[id(from_port)]
+        destination = self.other_end(from_port)
+        now = self.sim.now
+        stats = direction.stats
+        prop = self.propagation_delay_s
+        busy = direction.busy_until
+        #: id(frame) -> (wire length, serialisation) — bursts repeat
+        #: per-flow template frames, so measure each object once.  The
+        #: serialisation must come from serialization_delay() itself: a
+        #: rearranged float formula can differ in the last ulp, and
+        #: burst timing must stay bit-identical to transmit().
+        measured: "dict[int, tuple[int, float]]" = {}
+        accepted: "list[tuple[float, EthernetFrame]]" = []
+        for frame in frames:
+            if direction.queued >= self.queue_frames:
+                stats.drops += 1
+                continue
+            entry = measured.get(id(frame))
+            if entry is None:
+                entry = measured[id(frame)] = (
+                    frame.wire_length,
+                    self.serialization_delay(frame),
+                )
+            length, serialization = entry
+            start = busy if busy > now else now
+            busy = start + serialization
+            direction.queued += 1
+            stats.frames += 1
+            stats.bytes += length
+            stats.busy_time += serialization
+            accepted.append((busy + prop, frame))
+        direction.busy_until = busy
+        if direction.queued > stats.queue_hwm:
+            stats.queue_hwm = direction.queued
+        if not accepted:
+            return 0
+
+        def deliver() -> None:
+            direction.queued -= len(accepted)
+            destination.deliver_burst(accepted)
+
+        self.sim.schedule_at(accepted[-1][0], deliver)
+        return len(accepted)
 
     def utilization(self, from_port: Port, elapsed: float) -> float:
         """Fraction of *elapsed* the direction spent serialising frames."""

@@ -12,6 +12,21 @@ if TYPE_CHECKING:
     from repro.netsim.simulator import Simulator
 
 
+def _burst_bytes(frames: "list[EthernetFrame]") -> int:
+    """Total wire bytes of a burst, reading each distinct frame object's
+    ``wire_length`` once (bursts commonly repeat per-flow templates)."""
+    lengths: dict[int, int] = {}
+    get = lengths.get
+    total = 0
+    for frame in frames:
+        fid = id(frame)
+        length = get(fid)
+        if length is None:
+            length = lengths[fid] = frame.wire_length
+        total += length
+    return total
+
+
 class Port:
     """One network interface of a :class:`Node`.
 
@@ -57,6 +72,25 @@ class Port:
         self.tx_bytes += frame.wire_length
         return self.link.transmit(self, frame)
 
+    def send_burst(self, frames: "list[EthernetFrame]") -> int:
+        """Transmit *frames* back-to-back; returns how many were queued.
+
+        Per-frame semantics (captures, counters, drop-tail) match
+        *len(frames)* sequential :meth:`send` calls, but the link
+        coalesces the whole burst into one delivery event at the far
+        end — the per-event overhead is paid once per burst.
+        """
+        if self.captures:
+            for capture in self.captures:
+                for frame in frames:
+                    capture.record(self, "tx", frame)
+        if not self.up or self.link is None:
+            self.tx_dropped += len(frames)
+            return 0
+        self.tx_frames += len(frames)
+        self.tx_bytes += _burst_bytes(frames)
+        return self.link.transmit_burst(self, frames)
+
     def deliver(self, frame: EthernetFrame) -> None:
         """Called by the link when a frame arrives at this port."""
         for capture in self.captures:
@@ -66,6 +100,23 @@ class Port:
         self.rx_frames += 1
         self.rx_bytes += frame.wire_length
         self.node.receive(self, frame)
+
+    def deliver_burst(self, arrivals: "list[tuple[float, EthernetFrame]]") -> None:
+        """Called by the link when a coalesced burst drains at this port.
+
+        *arrivals* holds ``(arrival_time, frame)`` pairs in wire order —
+        the per-frame serialisation timestamps are preserved even though
+        the burst rides one simulator event.
+        """
+        if self.captures:
+            for capture in self.captures:
+                for _, frame in arrivals:
+                    capture.record(self, "rx", frame)
+        if not self.up:
+            return
+        self.rx_frames += len(arrivals)
+        self.rx_bytes += _burst_bytes([frame for _, frame in arrivals])
+        self.node.receive_burst(self, arrivals)
 
     def attach_capture(self, capture: "Capture") -> None:
         self.captures.append(capture)
@@ -107,6 +158,19 @@ class Node:
     def receive(self, port: Port, frame: EthernetFrame) -> None:
         """Handle a frame arriving on *port*; subclasses override."""
         raise NotImplementedError
+
+    def receive_burst(
+        self, port: Port, arrivals: "list[tuple[float, EthernetFrame]]"
+    ) -> None:
+        """Handle a coalesced burst arriving on *port*.
+
+        The default unrolls to per-frame :meth:`receive` calls so every
+        existing node works unchanged; batch-aware nodes (the software
+        switch) override this to amortise per-frame work.
+        """
+        receive = self.receive
+        for _, frame in arrivals:
+            receive(port, frame)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name})"

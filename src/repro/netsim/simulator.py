@@ -5,7 +5,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable, Iterable, Optional
 
 
 @dataclass(order=True)
@@ -16,10 +16,20 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: The owning simulator while the event sits in the queue; cleared
+    #: when the event is popped so a late ``cancel()`` cannot corrupt
+    #: the live-event counter.
+    owner: Optional["Simulator"] = field(default=None, compare=False)
 
     def cancel(self) -> None:
         """Mark the event dead; the loop skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self.owner
+        if owner is not None:
+            owner._pending -= 1
+            self.owner = None
 
 
 class Simulator:
@@ -38,6 +48,10 @@ class Simulator:
         self._now = 0.0
         self._events_processed = 0
         self._running = False
+        #: Live (not-cancelled) events in the queue, maintained by
+        #: schedule/cancel/pop so ``pending_events`` is O(1) — it is
+        #: polled inside ``run_until_idle`` and must not scan the heap.
+        self._pending = 0
 
     @property
     def now(self) -> float:
@@ -50,7 +64,7 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        return self._pending
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule *callback* to run *delay* seconds from now."""
@@ -64,9 +78,35 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time}, already at {self._now}"
             )
-        event = Event(time=time, seq=next(self._seq), callback=callback)
+        event = Event(time=time, seq=next(self._seq), callback=callback, owner=self)
         heapq.heappush(self._queue, event)
+        self._pending += 1
         return event
+
+    def schedule_many(
+        self, items: "Iterable[tuple[float, Callable[[], None]]]"
+    ) -> list[Event]:
+        """Schedule many ``(time, callback)`` pairs in one call.
+
+        Semantically identical to calling :meth:`schedule_at` once per
+        pair in iteration order (ties keep FIFO order), but amortises
+        the per-call overhead — burst traffic sources hand a whole send
+        schedule over at once instead of paying one Python call per
+        frame.
+        """
+        now = self._now
+        queue = self._queue
+        seq = self._seq
+        push = heapq.heappush
+        events = []
+        for time, callback in items:
+            if time < now:
+                raise ValueError(f"cannot schedule at {time}, already at {now}")
+            event = Event(time=time, seq=next(seq), callback=callback, owner=self)
+            push(queue, event)
+            self._pending += 1
+            events.append(event)
+        return events
 
     def run(
         self, until: "float | None" = None, max_events: "int | None" = None
@@ -89,6 +129,8 @@ class Simulator:
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._queue)
+                self._pending -= 1
+                event.owner = None
                 self._now = event.time
                 event.callback()
                 processed += 1

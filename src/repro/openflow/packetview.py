@@ -53,10 +53,19 @@ class PacketView:
 
     __slots__ = ("frame", "in_port", "_key")
 
-    def __init__(self, frame: EthernetFrame, in_port: int) -> None:
+    def __init__(
+        self,
+        frame: EthernetFrame,
+        in_port: int,
+        key: "tuple[Optional[int], ...] | None" = None,
+    ) -> None:
+        """*key*, when given, is a flow key already decoded for this
+        exact (frame, in_port) pair — the burst path passes it so a
+        frame object appearing many times in one burst is decoded once.
+        """
         self.frame = frame
         self.in_port = in_port
-        self._key: "tuple[Optional[int], ...] | None" = None
+        self._key: "tuple[Optional[int], ...] | None" = key
 
     def flow_key(self) -> "tuple[Optional[int], ...]":
         """All OXM fields of this packet as one flat tuple.

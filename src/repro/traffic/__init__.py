@@ -1,8 +1,11 @@
 """Synthetic workload generation (seeded, reproducible)."""
 
 from repro.traffic.generators import (
+    BurstSource,
     FlowSpec,
+    burst_schedule,
     cbr_schedule,
+    interleave_bursts,
     make_flow_population,
     poisson_schedule,
     synth_frame,
@@ -16,4 +19,7 @@ __all__ = [
     "synth_frame",
     "cbr_schedule",
     "poisson_schedule",
+    "burst_schedule",
+    "interleave_bursts",
+    "BurstSource",
 ]

@@ -1,0 +1,263 @@
+"""Link timing semantics: serialisation, FIFO ties, tail-drop, bursts.
+
+`Link` timing is what makes the latency/throughput benches meaningful
+(HARMLESS adds one trunk traversal; the cost is serialisation +
+propagation), and the burst path must reproduce it exactly: a
+`transmit_burst` serialises every frame at the same instants as N
+sequential `transmit` calls — only the delivery *event* is coalesced,
+with per-frame arrival times preserved in the payload.
+"""
+
+import pytest
+
+from repro.net import EthernetFrame, MACAddress
+from repro.netsim import Node, Simulator
+from repro.netsim.link import wire
+
+
+class Sink(Node):
+    """Records (sim-time, wire-timestamp, frame) for every arrival."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+        self.bursts = 0
+
+    def receive(self, port, frame):
+        self.received.append((self.sim.now, self.sim.now, frame))
+
+    def receive_burst(self, port, arrivals):
+        self.bursts += 1
+        for stamp, frame in arrivals:
+            self.received.append((self.sim.now, stamp, frame))
+
+
+def make_frame(payload=b"z" * 86, tag=0):
+    # 86B payload -> 100B on the wire; src MAC doubles as a frame tag.
+    return EthernetFrame(
+        dst=MACAddress(2), src=MACAddress(10 + tag), ethertype=0x0800,
+        payload=payload,
+    )
+
+
+def make_pair(**kwargs):
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    link = wire(a, b, **kwargs)
+    return sim, a, b, link
+
+
+#: 8 Mbit/s -> 1 byte/us -> a 100B frame serialises in 100us.
+BPS_1B_PER_US = 8_000_000
+
+
+class TestSerializationArithmetic:
+    def test_back_to_back_frames_accumulate_serialisation(self):
+        sim, a, b, _ = make_pair(
+            bandwidth_bps=BPS_1B_PER_US, propagation_delay_s=7e-6
+        )
+        for tag in range(4):
+            a.port(1).send(make_frame(tag=tag))
+        sim.run()
+        times = [t for t, _, _ in b.received]
+        # Frame k finishes serialising at (k+1)*100us, then propagates.
+        assert times == pytest.approx([100e-6 * (k + 1) + 7e-6 for k in range(4)])
+
+    def test_gap_larger_than_serialisation_resets_the_wire(self):
+        sim, a, b, _ = make_pair(
+            bandwidth_bps=BPS_1B_PER_US, propagation_delay_s=0.0
+        )
+        a.port(1).send(make_frame())
+        sim.schedule_at(500e-6, lambda: a.port(1).send(make_frame()))
+        sim.run()
+        times = [t for t, _, _ in b.received]
+        assert times == pytest.approx([100e-6, 600e-6])
+
+    def test_busy_time_equals_sum_of_serialisations(self):
+        sim, a, b, link = make_pair(
+            bandwidth_bps=BPS_1B_PER_US, propagation_delay_s=0.0
+        )
+        for _ in range(3):
+            a.port(1).send(make_frame())
+        sim.run()
+        assert link.stats(a.port(1)).busy_time == pytest.approx(300e-6)
+
+
+class TestFifoTies:
+    def test_equal_timestamp_arrivals_keep_send_order(self):
+        """Ideal link, several frames sent at one instant: all arrive at
+        the same simulated time and must be handed up in send order."""
+        sim, a, b, _ = make_pair(bandwidth_bps=None, propagation_delay_s=1e-6)
+        for tag in range(5):
+            a.port(1).send(make_frame(tag=tag))
+        sim.run()
+        times = [t for t, _, _ in b.received]
+        assert times == pytest.approx([1e-6] * 5)
+        assert [int(f.src) - 10 for _, _, f in b.received] == list(range(5))
+
+    def test_two_senders_tie_broken_by_schedule_order(self):
+        sim = Simulator()
+        hub, left, right = Sink(sim, "hub"), Sink(sim, "l"), Sink(sim, "r")
+        wire(left, hub, bandwidth_bps=None, propagation_delay_s=1e-6)
+        wire(right, hub, bandwidth_bps=None, propagation_delay_s=1e-6)
+        left.port(1).send(make_frame(tag=0))
+        right.port(1).send(make_frame(tag=1))
+        sim.run()
+        assert [int(f.src) - 10 for _, _, f in hub.received] == [0, 1]
+
+
+class TestTailDrop:
+    def test_fill_to_exactly_queue_frames_keeps_all(self):
+        sim, a, b, link = make_pair(
+            bandwidth_bps=BPS_1B_PER_US, propagation_delay_s=0.0, queue_frames=4
+        )
+        for tag in range(4):
+            assert a.port(1).send(make_frame(tag=tag)) is True
+        sim.run()
+        assert len(b.received) == 4
+        assert link.stats(a.port(1)).drops == 0
+        assert link.stats(a.port(1)).queue_hwm == 4
+
+    def test_one_past_queue_frames_tail_drops(self):
+        sim, a, b, link = make_pair(
+            bandwidth_bps=BPS_1B_PER_US, propagation_delay_s=0.0, queue_frames=4
+        )
+        results = [a.port(1).send(make_frame(tag=tag)) for tag in range(5)]
+        assert results == [True, True, True, True, False]
+        sim.run()
+        assert len(b.received) == 4
+        assert link.stats(a.port(1)).drops == 1
+        assert link.stats(a.port(1)).queue_hwm == 4  # never exceeded
+
+    def test_queue_drains_then_accepts_again(self):
+        sim, a, b, link = make_pair(
+            bandwidth_bps=BPS_1B_PER_US, propagation_delay_s=0.0, queue_frames=2
+        )
+        a.port(1).send(make_frame())
+        a.port(1).send(make_frame())
+        assert a.port(1).send(make_frame()) is False
+        sim.run()  # drains both
+        assert a.port(1).send(make_frame()) is True
+        sim.run()
+        assert len(b.received) == 3
+
+
+class TestBurstTransmit:
+    def test_burst_preserves_per_frame_arrival_times(self):
+        """transmit_burst must stamp each frame with the same arrival
+        time N sequential transmits would produce; only the delivery
+        event is coalesced at the burst drain."""
+        frames = [make_frame(tag=tag) for tag in range(4)]
+
+        sim_seq, a_seq, b_seq, _ = make_pair(
+            bandwidth_bps=BPS_1B_PER_US, propagation_delay_s=7e-6
+        )
+        for frame in frames:
+            a_seq.port(1).send(frame)
+        sim_seq.run()
+
+        sim_b, a_b, b_b, _ = make_pair(
+            bandwidth_bps=BPS_1B_PER_US, propagation_delay_s=7e-6
+        )
+        assert a_b.port(1).send_burst(list(frames)) == 4
+        sim_b.run()
+
+        assert b_b.bursts == 1  # one coalesced event...
+        stamps_seq = [t for t, _, _ in b_seq.received]
+        stamps_burst = [stamp for _, stamp, _ in b_b.received]
+        # Bit-exact, not approx: the burst path must use the very same
+        # float expression as serialization_delay(), or busy_until
+        # drifts by an ulp per frame and event ordering can flip.
+        assert stamps_burst == stamps_seq
+        # The coalesced event fires at the drain: the last frame's arrival.
+        assert all(t == stamps_seq[-1] for t, _, _ in b_b.received)
+
+    def test_burst_busy_until_bit_identical_to_sequential(self):
+        """Odd wire lengths across several bandwidths: the accumulated
+        busy_until after a burst equals N sequential transmits exactly."""
+        for bandwidth in (1e9, 8_000_000, 123_456_789):
+            frames = [make_frame(payload=b"q" * (47 + 13 * k), tag=k) for k in range(6)]
+            sim_a, a1, _, link_a = make_pair(bandwidth_bps=bandwidth)
+            for frame in frames:
+                a1.port(1).send(frame)
+            sim_b, a2, _, link_b = make_pair(bandwidth_bps=bandwidth)
+            a2.port(1).send_burst(list(frames))
+            direction_a = link_a._directions[id(a1.port(1))]
+            direction_b = link_b._directions[id(a2.port(1))]
+            assert direction_b.busy_until == direction_a.busy_until  # bit-exact
+
+    def test_burst_tail_drop_at_exact_boundary(self):
+        sim, a, b, link = make_pair(
+            bandwidth_bps=BPS_1B_PER_US, propagation_delay_s=0.0, queue_frames=3
+        )
+        accepted = a.port(1).send_burst([make_frame(tag=t) for t in range(5)])
+        assert accepted == 3
+        stats = link.stats(a.port(1))
+        assert stats.drops == 2
+        assert stats.queue_hwm == 3
+        sim.run()
+        assert len(b.received) == 3
+        assert [int(f.src) - 10 for _, _, f in b.received] == [0, 1, 2]
+
+    def test_burst_then_single_continue_serialising(self):
+        """A single transmit after a burst queues behind the burst."""
+        sim, a, b, _ = make_pair(
+            bandwidth_bps=BPS_1B_PER_US, propagation_delay_s=0.0
+        )
+        a.port(1).send_burst([make_frame(tag=0), make_frame(tag=1)])
+        a.port(1).send(make_frame(tag=2))
+        sim.run()
+        by_tag = {int(f.src) - 10: stamp for _, stamp, f in b.received}
+        assert by_tag[2] == pytest.approx(300e-6)
+
+    def test_burst_stats_match_sequential(self):
+        frames = [make_frame(tag=tag) for tag in range(6)]
+        sim_a, a1, _, link_a = make_pair(bandwidth_bps=BPS_1B_PER_US)
+        for frame in frames:
+            a1.port(1).send(frame)
+        sim_a.run()
+        sim_b, a2, _, link_b = make_pair(bandwidth_bps=BPS_1B_PER_US)
+        a2.port(1).send_burst(list(frames))
+        sim_b.run()
+        stats_seq, stats_burst = link_a.stats(a1.port(1)), link_b.stats(a2.port(1))
+        assert stats_burst.frames == stats_seq.frames
+        assert stats_burst.bytes == stats_seq.bytes
+        assert stats_burst.busy_time == pytest.approx(stats_seq.busy_time)
+        assert a2.port(1).tx_frames == a1.port(1).tx_frames
+        assert a2.port(1).tx_bytes == a1.port(1).tx_bytes
+
+    def test_burst_queue_hwm_shows_queueing(self):
+        """The satellite the hwm exists for: a burst actually occupies
+        the queue simultaneously, it does not serialise one at a time."""
+        sim, a, b, link = make_pair(
+            bandwidth_bps=BPS_1B_PER_US, propagation_delay_s=0.0, queue_frames=64
+        )
+        a.port(1).send_burst([make_frame(tag=t) for t in range(10)])
+        assert link.stats(a.port(1)).queue_hwm == 10
+        sim.run()
+        assert len(b.received) == 10
+
+    def test_burst_on_down_port_counts_tx_dropped(self):
+        sim, a, b, _ = make_pair()
+        a.port(1).up = False
+        assert a.port(1).send_burst([make_frame(), make_frame()]) == 0
+        assert a.port(1).tx_dropped == 2
+        sim.run()
+        assert b.received == []
+
+    def test_burst_into_down_receiver_is_dropped(self):
+        sim, a, b, _ = make_pair(bandwidth_bps=None, propagation_delay_s=0.0)
+        b.port(1).up = False
+        a.port(1).send_burst([make_frame(), make_frame()])
+        sim.run()
+        assert b.received == []
+        assert b.port(1).rx_frames == 0
+
+    def test_ideal_link_burst_is_one_event(self):
+        sim, a, b, _ = make_pair(bandwidth_bps=None, propagation_delay_s=0.0)
+        before = sim.events_processed
+        a.port(1).send_burst([make_frame(tag=t) for t in range(32)])
+        sim.run()
+        assert len(b.received) == 32
+        assert b.bursts == 1
+        assert sim.events_processed - before == 1

@@ -130,6 +130,71 @@ class TestSimulator:
         event.cancel()
         assert sim.pending_events == 1
 
+    def test_pending_events_is_a_live_counter(self):
+        """Maintained by schedule/cancel/pop — not an O(n) heap scan."""
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending_events == 5
+        events[0].cancel()
+        events[0].cancel()  # double-cancel must not double-decrement
+        assert sim.pending_events == 4
+        sim.run(until=3.0)  # runs events at t=2 and t=3 (t=1 cancelled)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_run_is_harmless(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending_events == 0
+        event.cancel()  # already executed and popped
+        assert sim.pending_events == 0
+
+    def test_schedule_many_matches_sequential_semantics(self):
+        sim = Simulator()
+        order = []
+        events = sim.schedule_many(
+            [
+                (2.0, lambda: order.append("late")),
+                (1.0, lambda: order.append("early")),
+                (1.0, lambda: order.append("early-tie")),
+            ]
+        )
+        assert len(events) == 3
+        assert sim.pending_events == 3
+        sim.run()
+        assert order == ["early", "early-tie", "late"]
+        assert sim.pending_events == 0
+
+    def test_schedule_many_interleaves_with_schedule_at(self):
+        """Ties between the two entry points resolve in call order."""
+        sim = Simulator()
+        order = []
+        sim.schedule_at(1.0, lambda: order.append("single"))
+        sim.schedule_many([(1.0, lambda: order.append("batch"))])
+        sim.run()
+        assert order == ["single", "batch"]
+
+    def test_schedule_many_rejects_past_times(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_many([(2.0, lambda: None), (0.5, lambda: None)])
+        # The valid first pair was queued before the bad one raised.
+        assert sim.pending_events == 1
+
+    def test_schedule_many_events_cancellable(self):
+        sim = Simulator()
+        fired = []
+        events = sim.schedule_many(
+            [(1.0, lambda: fired.append(1)), (2.0, lambda: fired.append(2))]
+        )
+        events[0].cancel()
+        sim.run()
+        assert fired == [2]
+
 
 class TestNodePorts:
     def test_auto_numbering_starts_at_one(self):

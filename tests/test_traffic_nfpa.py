@@ -1,8 +1,6 @@
 """Tests for the traffic generators and the NFPA harness."""
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.netsim import Simulator
 from repro.netsim.link import Link
@@ -10,7 +8,10 @@ from repro.nfpa import LatencyStats, make_sink, measure_forwarding, measure_pipe
 from repro.softswitch import DatapathCostModel, ESWITCH_COST_MODEL, SoftSwitch
 from repro.openflow import ApplyActions, FlowMod, Match, OutputAction
 from repro.traffic import (
+    BurstSource,
+    burst_schedule,
     cbr_schedule,
+    interleave_bursts,
     make_flow_population,
     poisson_schedule,
     zipf_weights,
@@ -84,6 +85,118 @@ class TestSchedules:
             cbr_schedule(0, 1.0)
         with pytest.raises(ValueError):
             poisson_schedule(-1, 1.0)
+
+
+class TestBurstSchedule:
+    def test_total_frames_match_cbr(self):
+        schedule = burst_schedule(1000.0, 0.1, burst_size=32)
+        assert sum(count for _, count in schedule) == len(cbr_schedule(1000.0, 0.1))
+
+    def test_burst_spacing_and_partial_tail(self):
+        schedule = burst_schedule(1000.0, 0.1, burst_size=32)
+        # 100 frames -> bursts of 32, 32, 32, 4 spaced 32ms apart.
+        assert [count for _, count in schedule] == [32, 32, 32, 4]
+        starts = [start for start, _ in schedule]
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert all(gap == pytest.approx(0.032) for gap in gaps)
+
+    def test_burst_size_one_degenerates_to_cbr(self):
+        schedule = burst_schedule(500.0, 0.01, burst_size=1)
+        assert all(count == 1 for _, count in schedule)
+        assert [start for start, _ in schedule] == pytest.approx(
+            cbr_schedule(500.0, 0.01)
+        )
+
+    def test_start_offset(self):
+        schedule = burst_schedule(100.0, 0.1, burst_size=5, start_s=2.0)
+        assert schedule[0][0] == pytest.approx(2.0)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            burst_schedule(0.0, 1.0, 8)
+        with pytest.raises(ValueError):
+            burst_schedule(100.0, 1.0, 0)
+
+
+class TestInterleaveBursts:
+    def test_fills_schedule_exactly(self):
+        flows = make_flow_population(4, seed=1)
+        schedule = burst_schedule(1000.0, 0.05, burst_size=16)
+        bursts = interleave_bursts(flows, schedule, seed=2)
+        assert [start for start, _ in bursts] == [start for start, _ in schedule]
+        assert [len(frames) for _, frames in bursts] == [
+            count for _, count in schedule
+        ]
+
+    def test_reuses_one_template_frame_per_flow(self):
+        """Frames of one flow are the same object — the batch datapath
+        decodes each distinct frame object once per burst."""
+        flows = make_flow_population(2, seed=1)
+        bursts = interleave_bursts(flows, [(0.0, 40)], seed=3)
+        distinct = {id(frame) for _, frames in bursts for frame in frames}
+        assert len(distinct) <= len(flows)
+
+    def test_seeded_reproducibility(self):
+        flows = make_flow_population(4, seed=1)
+        schedule = [(0.0, 20)]
+        first = interleave_bursts(flows, schedule, seed=9)
+        second = interleave_bursts(flows, schedule, seed=9)
+        assert [
+            [f.to_bytes() for f in frames] for _, frames in first
+        ] == [[f.to_bytes() for f in frames] for _, frames in second]
+
+    def test_zipf_weights_skew_the_mix(self):
+        flows = make_flow_population(8, seed=1)
+        bursts = interleave_bursts(
+            flows, [(0.0, 400)], seed=4, weights=zipf_weights(8, skew=1.5)
+        )
+        from repro.traffic import synth_frame
+
+        top = synth_frame(flows[0]).to_bytes()  # rank-1 flow's frame
+        share = sum(
+            1 for _, frames in bursts for f in frames if f.to_bytes() == top
+        ) / 400
+        assert share > 0.3  # rank-1 flow dominates
+
+    def test_misaligned_weights_rejected(self):
+        flows = make_flow_population(3, seed=1)
+        with pytest.raises(ValueError):
+            interleave_bursts(flows, [(0.0, 5)], weights=[0.5, 0.5])
+        with pytest.raises(ValueError):
+            interleave_bursts([], [(0.0, 5)])
+
+
+class TestBurstSource:
+    def test_plays_bursts_onto_the_wire(self):
+        from repro.netsim.link import wire
+        from repro.netsim.node import Node
+
+        class Counter(Node):
+            def __init__(self, sim, name):
+                super().__init__(sim, name)
+                self.frames = 0
+                self.bursts = 0
+
+            def receive(self, port, frame):
+                self.frames += 1
+
+            def receive_burst(self, port, arrivals):
+                self.bursts += 1
+                self.frames += len(arrivals)
+
+        sim = Simulator()
+        source = BurstSource(sim, "gen")
+        sink = Counter(sim, "sink")
+        wire(source, sink, bandwidth_bps=None, propagation_delay_s=0.0,
+             queue_frames=10_000)
+        flows = make_flow_population(4, seed=1)
+        schedule = burst_schedule(10_000.0, 0.01, burst_size=25)
+        bursts = interleave_bursts(flows, schedule, seed=5)
+        source.start(bursts)
+        sim.run_until_idle()
+        assert source.sent == 100
+        assert sink.frames == 100
+        assert sink.bursts == len(schedule)  # one delivery event per burst
 
 
 class TestLatencyStats:
