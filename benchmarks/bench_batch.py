@@ -100,7 +100,12 @@ def chunk(stream: list, size: int) -> "list[list]":
 
 def build_dut(num_flows: int, packets: int):
     sim = Simulator()
-    switch = SoftSwitch(sim, "dut", datapath_id=1, cost_model=ZERO_COST)
+    # Specialization off: this bench measures the interpreted burst
+    # pipeline (the compiled tier 0 has its own bench_specialized.py).
+    switch = SoftSwitch(
+        sim, "dut", datapath_id=1, cost_model=ZERO_COST,
+        enable_specialization=False,
+    )
     sinks = wire_counting_sinks(sim, switch, packets)
     install_exact_flows(switch, num_flows)
     return sim, switch, sinks

@@ -69,7 +69,12 @@ PREFIX_LENGTHS = tuple(range(17, 25))
 
 def build_switch(packets):
     sim = Simulator()
-    switch = SoftSwitch(sim, "dut", datapath_id=1, cost_model=ZERO_COST)
+    # Specialization off: this bench pins the interpreted fast path's
+    # churn behaviour (the compiled tier 0 has bench_specialized.py).
+    switch = SoftSwitch(
+        sim, "dut", datapath_id=1, cost_model=ZERO_COST,
+        enable_specialization=False,
+    )
     sinks = wire_counting_sinks(sim, switch, packets)
     return sim, switch, sinks
 
@@ -189,6 +194,7 @@ def build_masked_switch(num_entries, config, packets):
         datapath_id=1,
         cost_model=ZERO_COST,
         enable_fast_path=(config != "linear"),
+        enable_specialization=False,
     )
     if config == "classifier":
         switch.flow_cache = None  # measure the masked tier, not the cache

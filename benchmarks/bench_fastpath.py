@@ -71,6 +71,9 @@ def build_dut(num_flows, config, packets):
         datapath_id=1,
         cost_model=ZERO_COST,
         enable_fast_path=(config != "linear"),
+        # This bench measures the *interpreted* tiers; the compiled
+        # tier 0 has its own bench (bench_specialized.py).
+        enable_specialization=False,
     )
     if config == "classifier":
         switch.flow_cache = None  # bucketed slow path, no microflow cache

@@ -26,7 +26,7 @@ from repro.softswitch import ESWITCH_COST_MODEL, DatapathCostModel, SoftSwitch
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Cost-free datapath for wall-clock (Python-level) measurements.
-ZERO_COST = DatapathCostModel(0, 0, 0, 0, 0, 0)
+ZERO_COST = DatapathCostModel.zero()
 
 #: Full measurement passes per bench suite (merged per-row by keep_best).
 MEASURE_REPEATS = 3

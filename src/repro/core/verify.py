@@ -27,7 +27,7 @@ from repro.core.manager import HarmlessManager
 
 #: Cost model with zero delay: differential runs compare *behaviour*,
 #: so timing differences between environments must not cause mismatches.
-ZERO_COST = DatapathCostModel(0, 0, 0, 0, 0, 0)
+ZERO_COST = DatapathCostModel.zero()
 
 AppFactory = Callable[[], list]
 TrafficScript = Callable[["Environment"], None]

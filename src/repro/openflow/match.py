@@ -208,6 +208,14 @@ class Match:
         self._mask_key = (tuple(mask_set), tuple(values))
         return self._mask_key
 
+    def slots(self) -> tuple[int, ...]:
+        """Flow-key slots this match reads, ascending.
+
+        The datapath compiler unions these across a table to shrink the
+        specialized flow-key extractor to the fields actually matched.
+        """
+        return tuple(sorted(FIELD_INDEX[name] for name in self._fields))
+
     def is_subset_of(self, other: "Match") -> bool:
         """True if every packet matching self also matches *other*.
 

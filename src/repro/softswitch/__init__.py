@@ -12,6 +12,7 @@ single-core throughput — this is what makes the throughput/latency
 benchmarks meaningful (see DESIGN.md substitutions).
 """
 
+from repro.softswitch.compiler import CompiledProgram, compile_datapath
 from repro.softswitch.costmodel import DatapathCostModel, ESWITCH_COST_MODEL
 from repro.softswitch.datapath import SoftSwitch
 from repro.softswitch.fastpath import CachedPath, DatapathFlowCache
@@ -28,4 +29,6 @@ __all__ = [
     "CachedPath",
     "DatapathCostModel",
     "ESWITCH_COST_MODEL",
+    "CompiledProgram",
+    "compile_datapath",
 ]

@@ -1,0 +1,506 @@
+"""ESwitch-style datapath specialization: compile the pipeline to code.
+
+The ESwitch result this reproduction is calibrated against [Molnar et
+al., SIGCOMM 2016] comes from *specializing* the datapath to the
+currently installed flow tables instead of interpreting a
+general-purpose pipeline.  This module is that idea applied to the
+Python datapath: it inspects a switch's installed tables and generates
+— via textual codegen + ``exec`` — one specialized function pair
+(single frame + burst) per switch, which the datapath runs as **tier 0**
+above the microflow cache:
+
+* **miniflow shrinking** — the flow-key extractor is inlined and
+  restricted to the union of slots any installed match reads
+  (:func:`repro.openflow.packetview.partial_decode_source`), so a
+  three-field pipeline never pays a 14-field decode;
+* **unrolled classification** — one probe per exact field-set and per
+  staged subtable, emitted as straight-line code with the bucket dicts,
+  masks and max-priority bounds baked in as compile-time constants
+  (probes are ordered by descending max priority and guarded so a probe
+  that cannot beat the best candidate is skipped);
+* **straight-line execution plans** — each entry's instructions are
+  compiled to a plan: the dominant single-output shape dispatches with
+  no instruction-type checks at all, and VLAN push/pop / set-field
+  sequences run as a flat step list with the per-packet cost-model
+  charge precomputed as a constant.
+
+A compiled program additionally memoises shrunk key -> plan in a
+bounded per-program cache and, on the burst path, memoises per frame
+*object* within a burst (generators emit per-flow template frames, so
+a 32-frame burst from 4 flows classifies 4 times).
+
+**Safety contract.**  A program is only compiled for pipelines whose
+interpreted execution it can reproduce bit-identically: a single-table
+walk (tables 1+ empty), no timeouts installed anywhere, only
+apply-actions of concrete-port outputs / VLAN push-pop / set-field, and
+a plain :class:`DatapathCostModel` (whose per-plan charge is then a
+compile-time constant equal to what ``cost_s`` returns per packet).
+Anything else — goto chains, groups, packet-ins, mortal flows,
+subclassed cost models — makes :func:`compile_datapath` return None and
+the switch keeps running the interpreted two-tier fast path.  The
+datapath discards the program before the next packet whenever the
+tables, groups or cost model change (see the churn hysteresis in
+:mod:`repro.softswitch.datapath`), so the live index structures the
+program references are never probed stale.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.openflow import consts as c
+from repro.openflow.actions import (
+    OutputAction,
+    PopVlanAction,
+    PushVlanAction,
+    SetFieldAction,
+)
+from repro.openflow.instructions import ApplyActions
+from repro.openflow.packetview import EXTRACTOR_GLOBALS, partial_decode_source
+from repro.softswitch.costmodel import DatapathCostModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.softswitch.datapath import SoftSwitch
+    from repro.softswitch.flowtable import FlowEntry
+
+#: Bound on a program's persistent shrunk-key -> plan cache.  Cleared
+#: wholesale when full: the cache is derived state, one slow classify
+#: per key rebuilds it.
+KEY_CACHE_LIMIT = 8192
+
+#: Bound on the persistent frame-object memo (see `_EXECUTOR_SOURCE`).
+FRAME_MEMO_LIMIT = 4096
+
+#: Plan kinds (first element of every plan tuple).
+PLAN_OUT = 0  # single concrete-port output
+PLAN_MISS = 1  # table miss: count the lookup, drop
+PLAN_NOOP = 2  # matched entry with no emitting instructions
+PLAN_SEQ = 3  # straight-line action sequence (vlan ops, set-field, outputs)
+
+_RESERVED_PORTS = frozenset(
+    (c.OFPP_CONTROLLER, c.OFPP_FLOOD, c.OFPP_ALL, c.OFPP_IN_PORT)
+)
+
+
+class CompiledProgram:
+    """One switch's specialized datapath (tier 0 of the fast path)."""
+
+    __slots__ = ("run_one", "run_burst", "source", "used_slots", "key_cache", "plans")
+
+    def __init__(self, run_one, run_burst, source, used_slots, key_cache, plans):
+        self.run_one = run_one
+        self.run_burst = run_burst
+        #: The generated module source (debugging / tests).
+        self.source = source
+        #: Flow-key slots the shrunk extractor decodes.
+        self.used_slots = used_slots
+        #: shrunk key -> plan; shared by both entry points.
+        self.key_cache = key_cache
+        #: id(entry) -> plan, populated lazily per selected entry.
+        self.plans = plans
+
+
+_TRANSFORM_ACTIONS = (PushVlanAction, PopVlanAction, SetFieldAction)
+
+
+def _entry_compilable(entry: "FlowEntry") -> bool:
+    """Cheap eligibility test: can :func:`_plan_for` compile *entry*?
+
+    Split from plan construction so the O(n) compile-time scan over a
+    large table allocates nothing; plans themselves are built lazily,
+    one per entry the classifier actually selects.
+    """
+    if entry.idle_timeout or entry.hard_timeout:
+        return False  # expiry re-arbitrates lookups asynchronously
+    instructions = entry.instructions
+    if not instructions:
+        return True
+    if len(instructions) != 1 or type(instructions[0]) is not ApplyActions:
+        return False
+    for action in instructions[0].actions:
+        kind = type(action)
+        if kind is OutputAction:
+            if action.port in _RESERVED_PORTS:
+                return False  # packet-in / flood need the interpreter
+        elif kind not in _TRANSFORM_ACTIONS:
+            return False
+    return True
+
+
+def _plan_for(entry: "FlowEntry", model: DatapathCostModel):
+    """Compile one entry's instructions to a plan tuple, or None.
+
+    The plan's cost constant is produced by the same ``cost_s`` call
+    the interpreted path makes per packet (1 lookup, the entry's action
+    and VLAN-op counts), so charging is float-identical.
+    """
+    instructions = entry.instructions
+    if not instructions:
+        return (PLAN_NOOP, entry, None, model.cost_s(lookups=1, actions=0))
+    if len(instructions) != 1 or type(instructions[0]) is not ApplyActions:
+        return None
+    actions = instructions[0].actions
+    steps = []
+    vlan_ops = 0
+    for action in actions:
+        kind = type(action)
+        if kind is OutputAction:
+            if action.port in _RESERVED_PORTS:
+                return None  # packet-in / flood need the interpreter
+            steps.append((True, action.port))
+        elif kind in (PushVlanAction, PopVlanAction):
+            vlan_ops += 1
+            steps.append((False, action))
+        elif kind is SetFieldAction:
+            steps.append((False, action))
+        else:
+            return None
+    cost = model.cost_s(lookups=1, actions=len(actions), vlan_ops=vlan_ops)
+    if len(steps) == 1 and steps[0][0]:
+        return (PLAN_OUT, entry, steps[0][1], cost)
+    return (PLAN_SEQ, entry, tuple(steps), cost)
+
+
+def _tuple_literal(parts: "list[str]") -> str:
+    if not parts:
+        return "()"
+    if len(parts) == 1:
+        return f"({parts[0]},)"
+    return "(" + ", ".join(parts) + ")"
+
+
+def _probe_block(
+    lines: list[str],
+    guard_priority: int,
+    probe_name: str,
+    value_expr: str,
+    none_guards: "list[str]",
+) -> None:
+    lines.append(f"    if e is None or ek0 >= {-guard_priority}:")
+    indent = "        "
+    if none_guards:
+        lines.append(indent + "if " + " and ".join(none_guards) + ":")
+        indent += "    "
+    lines.append(f"{indent}ch = {probe_name}({value_expr})")
+    lines.append(f"{indent}if ch:")
+    lines.append(f"{indent}    n = ch[0]")
+    lines.append(f"{indent}    nk = n.sort_key")
+    lines.append(f"{indent}    if e is None or nk < ek:")
+    lines.append(f"{indent}        e = n")
+    lines.append(f"{indent}        ek = nk")
+    lines.append(f"{indent}        ek0 = nk[0]")
+
+
+def compile_datapath(switch: "SoftSwitch") -> Optional[CompiledProgram]:
+    """Specialize *switch*'s installed pipeline, or None if ineligible."""
+    model = switch.cost_model
+    if type(model) is not DatapathCostModel:
+        return None  # subclassed cost hooks must stay on the per-packet path
+    tables = switch.tables
+    if not tables:
+        return None
+    for table in tables[1:]:
+        if len(table):
+            return None  # multi-table walks stay interpreted
+    table0 = tables[0]
+    for entry in table0:
+        if not _entry_compilable(entry):
+            return None
+    #: id(entry) -> plan, built lazily as the classifier selects
+    #: entries; eligibility above guarantees every build succeeds.
+    plans: dict[int, tuple] = {}
+    used_slots = tuple(sorted(table0.used_slots()))
+    miss_plan = (PLAN_MISS, None, None, model.cost_s(lookups=1, actions=0))
+    key_cache: dict = {}
+
+    frame_memo: dict = {}
+    namespace: dict = dict(EXTRACTOR_GLOBALS)
+    namespace.update(
+        SIM=switch.sim,
+        S=switch,
+        T0=table0,
+        PORTS=switch.ports,
+        PORT=switch.port,
+        EMIT=switch._emit,
+        SCHED=switch.sim.schedule_at,
+        KC=key_cache,
+        KC_get=key_cache.get,
+        KC_LIMIT=KEY_CACHE_LIMIT,
+        PLANS=plans,
+        PLANS_get=plans.get,
+        BUILD=lambda entry, _model=model: _plan_for(entry, _model),
+        MISS=miss_plan,
+        PMEMO=frame_memo,
+        PMEMO_get=frame_memo.get,
+        PMEMO_LIMIT=FRAME_MEMO_LIMIT,
+    )
+
+    # ---------------------------------------------------------- classify
+    lines = ["def _classify(frame, in_port):"]
+    lines.extend(partial_decode_source(used_slots, indent="    "))
+    key_expr = _tuple_literal([f"v{slot}" for slot in used_slots])
+    lines.append(f"    key = {key_expr}")
+    lines.append("    plan = KC_get(key)")
+    lines.append("    if plan is not None:")
+    lines.append("        return plan, key")
+    lines.append("    e = None")
+    lines.append("    ek = None")
+    lines.append("    ek0 = 1")
+
+    probes: list[tuple] = []
+    for probe_slots, buckets, max_priority in table0.exact_probe_groups():
+        probes.append((max_priority, "exact", probe_slots, buckets))
+    for subtable in table0.subtables_in_order():
+        probes.append((subtable.max_priority, "masked", subtable.mask_set, subtable.buckets))
+    probes.sort(key=lambda item: -item[0])
+    for index, (max_priority, tier, shape, buckets) in enumerate(probes):
+        probe_name = f"P{index}_get"
+        namespace[probe_name] = buckets.get
+        if tier == "exact":
+            value_expr = _tuple_literal([f"v{slot}" for slot in shape])
+            none_guards: list[str] = []
+        else:
+            value_expr = _tuple_literal(
+                [f"v{slot} & {mask:#x}" for slot, mask in shape]
+            )
+            none_guards = [f"v{slot} is not None" for slot, _ in shape]
+        _probe_block(lines, max_priority, probe_name, value_expr, none_guards)
+
+    lines.append("    if e is None:")
+    lines.append("        plan = MISS")
+    lines.append("    else:")
+    lines.append("        eid = id(e)")
+    lines.append("        plan = PLANS_get(eid)")
+    lines.append("        if plan is None:")
+    lines.append("            plan = BUILD(e)")
+    lines.append("            PLANS[eid] = plan")
+    lines.append("    if len(KC) >= KC_LIMIT:")
+    lines.append("        KC.clear()")
+    lines.append("    KC[key] = plan")
+    lines.append("    return plan, key")
+    lines.append("")
+
+    # Frame-memo mutation guards: a memoised decision is only replayed
+    # while every frame attribute the shrunk key (or the wire length)
+    # depends on is unchanged.  Payload identity and tag count are
+    # always guarded (they feed L3/L4 fields and wire_length); the
+    # other guards shrink with the used-slot set, like the extractor.
+    guards = ["m[3] is frame.payload", "m[4] == len(frame.tags)"]
+    extras: list[tuple[str, str]] = []  # (store expr, guard template)
+    slot_set = set(used_slots)
+    if 0 in slot_set:
+        extras.append(("in_port", "m[{i}] == in_port"))
+    if 1 in slot_set:
+        extras.append(("frame.dst", "m[{i}] is frame.dst"))
+    if 2 in slot_set:
+        extras.append(("frame.src", "m[{i}] is frame.src"))
+    if 3 in slot_set or slot_set & set(range(6, 14)):
+        extras.append(("frame.ethertype", "m[{i}] == frame.ethertype"))
+    if slot_set & {4, 5}:
+        extras.append(("frame.vlan", "m[{i}] is frame.vlan"))
+    for index, (_, template) in enumerate(extras):
+        guards.append(template.format(i=5 + index))
+    store_parts = ["dec", "key", "frame", "frame.payload", "len(frame.tags)"]
+    store_parts.extend(expr for expr, _ in extras)
+    executor = _EXECUTOR_SOURCE.replace("__GUARDS__", " and ".join(guards))
+    executor = executor.replace("__MEMO_ENTRY__", "(" + ", ".join(store_parts) + ")")
+    lines.append(executor)
+
+    source = "\n".join(lines)
+    exec(compile(source, f"<specialized datapath {switch.name}>", "exec"), namespace)
+    return CompiledProgram(
+        run_one=namespace["run_one"],
+        run_burst=namespace["run_burst"],
+        source=source,
+        used_slots=used_slots,
+        key_cache=key_cache,
+        plans=plans,
+    )
+
+
+#: The execution half of every generated module.  Static — only the
+#: classifier and extractor vary per switch — but it lives inside the
+#: generated module so the hot loop binds its constants (switch, table,
+#: ports, scheduler) as default arguments, the fastest lookups Python
+#: offers.  Charging mirrors ``SoftSwitch._charge`` exactly: start at
+#: max(now, busy_until), advance by the plan's precomputed cost, emit
+#: immediately when the finish time has not moved past ``now`` and
+#: defer through the simulator otherwise.
+_EXECUTOR_SOURCE = '''
+def _lookup(frame, in_port, fid, PMEMO=PMEMO, PMEMO_get=PMEMO_get,
+            PMEMO_LIMIT=PMEMO_LIMIT, classify=_classify):
+    """dec for one frame object: guarded persistent memo over classify.
+
+    The memo holds a strong reference to the frame, so the id key can
+    never be reused while the entry lives; the guards re-validate every
+    frame attribute the decision depends on, so even a caller mutating
+    a frame between bursts gets a fresh classification.
+    """
+    m = PMEMO_get(fid)
+    if m is not None and __GUARDS__:
+        return m[0], m[1]
+    plan, key = classify(frame, in_port)
+    dec = plan + (frame.wire_length,)
+    if len(PMEMO) >= PMEMO_LIMIT:
+        PMEMO.clear()
+    PMEMO[fid] = __MEMO_ENTRY__
+    return dec, key
+
+
+def run_one(frame, in_port, SIM=SIM, S=S, T0=T0, PORTS=PORTS,
+            EMIT=EMIT, SCHED=SCHED, lookup=_lookup):
+    now = SIM.now
+    dec, _key = lookup(frame, in_port, id(frame))
+    kind = dec[0]
+    T0.lookups += 1
+    outs = None
+    if kind == 0:
+        _, entry, port, cost, length = dec
+        T0.matches += 1
+        entry.packet_count += 1
+        entry.byte_count += length
+        entry.last_used_at = now
+        if port in PORTS:
+            outs = [(port, frame)]
+        else:
+            S.packets_dropped += 1
+    elif kind == 1:
+        cost = dec[3]
+        S.packets_dropped += 1
+    elif kind == 2:
+        _, entry, _payload, cost, length = dec
+        T0.matches += 1
+        entry.packet_count += 1
+        entry.byte_count += length
+        entry.last_used_at = now
+    else:
+        _, entry, steps, cost, length = dec
+        T0.matches += 1
+        entry.packet_count += 1
+        entry.byte_count += length
+        entry.last_used_at = now
+        current = frame
+        outs = []
+        for is_out, payload in steps:
+            if is_out:
+                if payload in PORTS:
+                    outs.append((payload, current))
+                else:
+                    S.packets_dropped += 1
+            else:
+                current = payload.apply(current)
+        if not outs:
+            outs = None
+    busy = S.busy_until
+    start = busy if busy > now else now
+    finish = start + cost
+    S.busy_until = finish
+    S.specialized_frames += 1
+    if outs is not None:
+        if finish <= now:
+            EMIT(outs, ())
+        else:
+            SCHED(finish, lambda o=outs: EMIT(o, ()))
+
+
+def run_burst(in_port, frames, SIM=SIM, S=S, T0=T0, PORTS=PORTS,
+              PORT=PORT, EMIT=EMIT, SCHED=SCHED, lookup=_lookup):
+    now = SIM.now
+    memo = {}
+    memo_get = memo.get
+    uniq = set()
+    uniq_add = uniq.add
+    per_port = {}
+    per_port_get = per_port.get
+    forwarded = 0
+    dropped = 0
+    lookups = 0
+    matches = 0
+    busy = S.busy_until
+    for frame in frames:
+        fid = id(frame)
+        dec = memo_get(fid)
+        if dec is None:
+            dec, key = lookup(frame, in_port, fid)
+            uniq_add(key)
+            memo[fid] = dec
+        lookups += 1
+        kind = dec[0]
+        if kind == 0:
+            _, entry, port, cost, length = dec
+            matches += 1
+            entry.packet_count += 1
+            entry.byte_count += length
+            entry.last_used_at = now
+            start = busy if busy > now else now
+            busy = start + cost
+            if port in PORTS:
+                if busy <= now:
+                    chain = per_port_get(port)
+                    if chain is None:
+                        per_port[port] = [frame]
+                    else:
+                        chain.append(frame)
+                    forwarded += 1
+                else:
+                    SCHED(busy, lambda o=[(port, frame)]: EMIT(o, ()))
+            else:
+                dropped += 1
+        elif kind == 1:
+            dropped += 1
+            start = busy if busy > now else now
+            busy = start + dec[3]
+        elif kind == 2:
+            _, entry, _payload, cost, length = dec
+            matches += 1
+            entry.packet_count += 1
+            entry.byte_count += length
+            entry.last_used_at = now
+            start = busy if busy > now else now
+            busy = start + cost
+        else:
+            _, entry, steps, cost, length = dec
+            matches += 1
+            entry.packet_count += 1
+            entry.byte_count += length
+            entry.last_used_at = now
+            current = frame
+            outs = []
+            for is_out, payload in steps:
+                if is_out:
+                    if payload in PORTS:
+                        outs.append((payload, current))
+                    else:
+                        dropped += 1
+                else:
+                    current = payload.apply(current)
+            start = busy if busy > now else now
+            busy = start + cost
+            if outs:
+                if busy <= now:
+                    for out_port, out_frame in outs:
+                        chain = per_port_get(out_port)
+                        if chain is None:
+                            per_port[out_port] = [out_frame]
+                        else:
+                            chain.append(out_frame)
+                    forwarded += len(outs)
+                else:
+                    SCHED(busy, lambda o=outs: EMIT(o, ()))
+    S.busy_until = busy
+    T0.lookups += lookups
+    T0.matches += matches
+    if dropped:
+        S.packets_dropped += dropped
+    count = len(frames)
+    S.specialized_frames += count
+    S.batch_bursts += 1
+    S.batch_frames += count
+    # Grouping statistic over *shrunk* keys — the keys this tier
+    # actually distinguishes (the interpreted path counts full keys).
+    S.batch_unique_keys += len(uniq)
+    if forwarded:
+        S.packets_forwarded += forwarded
+        for port_number, port_frames in per_port.items():
+            PORT(port_number).send_burst(port_frames)
+'''

@@ -54,9 +54,42 @@ class DatapathCostModel:
         )
         return total_ns * 1e-9
 
-    def peak_pps(self, lookups: int = 1, actions: int = 1, vlan_ops: int = 0) -> float:
-        """Single-core packets/second ceiling for a given pipeline shape."""
-        return 1.0 / self.cost_s(lookups=lookups, actions=actions, vlan_ops=vlan_ops)
+    def peak_pps(
+        self,
+        lookups: int = 1,
+        actions: int = 1,
+        vlan_ops: int = 0,
+        group_selections: int = 0,
+        patch_hops: int = 0,
+    ) -> float:
+        """Single-core packets/second ceiling for a given pipeline shape.
+
+        Accepts the same stage counts as :meth:`cost_s`, so ceilings for
+        group- and patch-port pipelines are charged for those stages too.
+        """
+        return 1.0 / self.cost_s(
+            lookups=lookups,
+            actions=actions,
+            vlan_ops=vlan_ops,
+            group_selections=group_selections,
+            patch_hops=patch_hops,
+        )
+
+    @classmethod
+    def zero(cls) -> "DatapathCostModel":
+        """The all-zero model used by wall-clock (Python-level) benches.
+
+        Keyword-safe against field additions, unlike spelling out every
+        coefficient positionally at each call site.
+        """
+        return cls(
+            base_ns=0.0,
+            lookup_ns=0.0,
+            action_ns=0.0,
+            vlan_op_ns=0.0,
+            group_ns=0.0,
+            patch_ns=0.0,
+        )
 
 
 #: The default, ESwitch-calibrated model (~13 Mpps for 1 lookup + 1 output).

@@ -54,6 +54,7 @@ from repro.openflow.messages import (
     parse_message,
 )
 from repro.openflow.packetview import PacketView
+from repro.softswitch.compiler import CompiledProgram, compile_datapath
 from repro.softswitch.costmodel import DatapathCostModel, ESWITCH_COST_MODEL
 from repro.softswitch.fastpath import CachedPath, DatapathFlowCache
 from repro.softswitch.flowtable import FlowEntry, FlowTable
@@ -61,6 +62,17 @@ from repro.softswitch.groups import SELECT_HASH_FIELDS, GroupTable
 
 #: How often expired flows are swept (also checked lazily on lookup).
 EXPIRY_SWEEP_INTERVAL_S = 1.0
+
+#: Churn hysteresis for the specialized tier 0.  A FlowMod/GroupMod
+#: marks the compiled program stale and the switch falls back to the
+#: interpreted fast path; a recompile is attempted on the next packet
+#: only once this many mods have accumulated...
+RECOMPILE_AFTER_MODS = 64
+#: ...or once the control plane has been quiet for this long (simulated
+#: seconds), whichever happens first.  Both are per-switch attributes
+#: (``recompile_after_mods`` / ``recompile_quiescent_s``) so tests and
+#: benches can tighten or disable the hysteresis.
+RECOMPILE_QUIESCENT_S = 0.05
 
 
 @dataclass
@@ -91,6 +103,7 @@ class SoftSwitch(Node):
         num_tables: int = 4,
         cost_model: DatapathCostModel = ESWITCH_COST_MODEL,
         enable_fast_path: bool = True,
+        enable_specialization: "bool | None" = None,
     ) -> None:
         super().__init__(sim, name)
         self.datapath_id = datapath_id
@@ -103,7 +116,29 @@ class SoftSwitch(Node):
         self.flow_cache: "Optional[DatapathFlowCache]" = (
             DatapathFlowCache() if enable_fast_path else None
         )
+        #: Tier 0: the ESwitch-style specialized program compiled from
+        #: the installed pipeline (see repro.softswitch.compiler).
+        #: Defaults to following the fast-path switch so "interpreted
+        #: seed" configurations stay fully interpreted.
+        self.specialize = (
+            enable_fast_path if enable_specialization is None else enable_specialization
+        )
+        self._program: "Optional[CompiledProgram]" = None
+        self._pending_mods = 0
+        self._last_mod_at = 0.0
+        self.recompile_after_mods = RECOMPILE_AFTER_MODS
+        self.recompile_quiescent_s = RECOMPILE_QUIESCENT_S
+        self.program_compiles = 0
+        self.program_compile_failures = 0
+        self.program_invalidations = 0
+        #: Frames served by the compiled tier 0 / by the interpreted
+        #: fallback while specialization was enabled.
+        self.specialized_frames = 0
+        self.fallback_frames = 0
         self.cost_model = cost_model
+        # The construction-time model assignment is not a mutation; a
+        # fresh switch should not recompile until a FlowMod lands.
+        self._pending_mods = 0
         #: Fields hashed for select-group bucket choice.  The OpenFlow
         #: spec leaves the selection algorithm to the implementation;
         #: like OVS's selection_method this is switch configuration.
@@ -115,7 +150,12 @@ class SoftSwitch(Node):
         #: Burst-path grouping statistics: frames arriving in bursts,
         #: bursts processed, and unique flow keys seen across bursts
         #: (``batch_frames / batch_unique_keys`` is the per-burst
-        #: amortisation factor the BATCH bench reports).
+        #: amortisation factor the BATCH bench reports).  Which key the
+        #: serving tier distinguishes: the interpreted path counts full
+        #: 14-slot flow keys, the compiled tier 0 counts its *shrunk*
+        #: keys (only the slots the installed pipeline reads), so the
+        #: statistic describes the grouping the active tier actually
+        #: exploited.
         self.batch_bursts = 0
         self.batch_frames = 0
         self.batch_unique_keys = 0
@@ -132,6 +172,9 @@ class SoftSwitch(Node):
     @cost_model.setter
     def cost_model(self, model: DatapathCostModel) -> None:
         self._cost_model = model
+        # Compiled programs bake per-plan cost constants; swapping the
+        # model on a live switch must force a recompile.
+        self._mark_program_stale()
         #: True when every cost coefficient is zero (wall-clock benches):
         #: lets the charge path skip the per-packet cost_s() call while
         #: keeping busy_until bookkeeping bit-identical.  The exact-type
@@ -146,6 +189,76 @@ class SoftSwitch(Node):
             or model.group_ns
             or model.patch_ns
         )
+
+    # ------------------------------------------------- datapath specialization
+
+    def _mark_program_stale(self) -> None:
+        """A control-plane mutation landed: fall back to the interpreter.
+
+        The compiled program references the live classifier structures,
+        so it must be discarded before the next packet.  Recompiling is
+        deferred (churn hysteresis): the mod counter and timestamp feed
+        :meth:`_active_program`'s trigger test.
+        """
+        self._pending_mods += 1
+        self._last_mod_at = self.sim.now
+        if self._program is not None:
+            self._program = None
+            self.program_invalidations += 1
+
+    @property
+    def program(self) -> "Optional[CompiledProgram]":
+        """The currently-active specialized program, if any (read-only)."""
+        return self._program
+
+    def _active_program(self) -> "Optional[CompiledProgram]":
+        """The current compiled program, recompiling when hysteresis allows.
+
+        Stale programs are never returned — ``_mark_program_stale``
+        drops them synchronously — so the only question here is whether
+        the accumulated mods justify paying for a recompile: either
+        ``recompile_after_mods`` mods have piled up, or the control
+        plane has been quiet for ``recompile_quiescent_s``.  A pipeline
+        the compiler rejects leaves the switch interpreted (and charges
+        nothing further) until the next mutation.
+        """
+        program = self._program
+        if program is not None:
+            return program
+        if not self._pending_mods:
+            return None
+        if (
+            self._pending_mods < self.recompile_after_mods
+            and self.sim.now - self._last_mod_at < self.recompile_quiescent_s
+        ):
+            return None
+        self._pending_mods = 0
+        program = compile_datapath(self)
+        if program is None:
+            self.program_compile_failures += 1
+        else:
+            self.program_compiles += 1
+            self._program = program
+        return program
+
+    def stats(self) -> dict:
+        """Datapath counters: forwarding, specialization, microflow cache."""
+        return {
+            "packets_forwarded": self.packets_forwarded,
+            "packets_dropped": self.packets_dropped,
+            "packets_to_controller": self.packets_to_controller,
+            "specialization": {
+                "enabled": self.specialize,
+                "active": self._program is not None,
+                "compiles": self.program_compiles,
+                "compile_failures": self.program_compile_failures,
+                "invalidations": self.program_invalidations,
+                "pending_mods": self._pending_mods,
+                "specialized_frames": self.specialized_frames,
+                "fallback_frames": self.fallback_frames,
+            },
+            "cache": self.flow_cache.stats() if self.flow_cache is not None else None,
+        }
 
     # ---------------------------------------------------------- data plane
 
@@ -199,6 +312,12 @@ class SoftSwitch(Node):
         if len(frames) == 1:
             self._walk_and_emit(frames[0], in_port)
             return
+        if self.specialize:
+            program = self._active_program()
+            if program is not None:
+                program.run_burst(in_port, frames)
+                return
+            self.fallback_frames += len(frames)
         now = self.sim.now
         cache = self.flow_cache
         #: keys whose cached path was already expiry-validated this burst
@@ -338,6 +457,12 @@ class SoftSwitch(Node):
         frame leaves — that is how the processing cost becomes visible
         as forwarding latency.
         """
+        if self.specialize:
+            program = self._active_program()
+            if program is not None:
+                program.run_one(frame, in_port)
+                return
+            self.fallback_frames += 1
         stats = PipelineStats()
         outputs, async_messages = self._buffered(self._run_pipeline, frame, in_port, stats)
         self._flush(outputs, async_messages, stats)
@@ -777,6 +902,7 @@ class SoftSwitch(Node):
                 cache.invalidate_for_add(
                     message.table_id, message.match, message.priority
                 )
+            self._mark_program_stale()
             return None
         if message.command in (c.OFPFC_DELETE, c.OFPFC_DELETE_STRICT):
             removed = table.delete(
@@ -786,8 +912,10 @@ class SoftSwitch(Node):
                 cookie=message.cookie,
                 cookie_mask=message.cookie_mask,
             )
-            if removed and cache is not None:
-                cache.invalidate_entries(removed)
+            if removed:
+                if cache is not None:
+                    cache.invalidate_entries(removed)
+                self._mark_program_stale()
             for entry in removed:
                 if entry.send_flow_removed:
                     self._send_async(
@@ -815,8 +943,10 @@ class SoftSwitch(Node):
                     if message.cookie:
                         entry.cookie = message.cookie
                     modified.append(entry)
-            if modified and cache is not None:
-                cache.invalidate_entries(modified)
+            if modified:
+                if cache is not None:
+                    cache.invalidate_entries(modified)
+                self._mark_program_stale()
             return None
         return ErrorMsg(xid=message.xid, error_type=4, code=0)  # bad command
 
@@ -838,6 +968,7 @@ class SoftSwitch(Node):
         # reference this group; walks using other groups (or none) stay.
         if self.flow_cache is not None:
             self.flow_cache.invalidate_group(message.group_id)
+        self._mark_program_stale()
         return None
 
     def _handle_packet_out(self, message: PacketOut) -> None:
@@ -903,8 +1034,10 @@ class SoftSwitch(Node):
         any_mortal_flows = False
         for table in self.tables:
             expired = table.expire(now)
-            if expired and self.flow_cache is not None:
-                self.flow_cache.invalidate_entries(expired)
+            if expired:
+                if self.flow_cache is not None:
+                    self.flow_cache.invalidate_entries(expired)
+                self._mark_program_stale()
             for entry in expired:
                 if entry.send_flow_removed:
                     reason = (

@@ -327,6 +327,46 @@ class FlowTable:
         """Mask-sets in probe order (test/bench introspection)."""
         return [subtable.mask_set for subtable in self._staged_in_order()]
 
+    # ------------------------------------------------- compiler introspection
+
+    def used_slots(self) -> frozenset[int]:
+        """Union of flow-key slots any installed match reads.
+
+        The datapath compiler shrinks its specialized extractor to this
+        set, so a table matching three fields costs three field decodes.
+        Derived from the index structures (one union per field-set /
+        mask-set, not per entry), so it stays O(#distinct shapes) even
+        for 10k-flow tables.
+        """
+        slots: set[int] = set()
+        for slot_tuple in self._exact_slots.values():
+            slots.update(slot_tuple)
+        for mask_set in self._subtables:
+            slots.update(slot for slot, _ in mask_set)
+        return frozenset(slots)
+
+    def exact_probe_groups(
+        self,
+    ) -> "list[tuple[tuple[int, ...], dict[tuple[int, ...], list[FlowEntry]], int]]":
+        """(probe slots, value buckets, max priority) per exact field-set.
+
+        The returned buckets are the live index structures — the
+        compiler bakes references to them into a specialized program and
+        relies on the datapath discarding that program before the next
+        packet whenever the table mutates.
+        """
+        groups = []
+        for names, buckets in self._exact.items():
+            max_priority = max(
+                chain[0].priority for chain in buckets.values()
+            )
+            groups.append((self._exact_slots[names], buckets, max_priority))
+        return groups
+
+    def subtables_in_order(self) -> "list[Subtable]":
+        """Staged subtables in probe order (live objects, read-only)."""
+        return list(self._staged_in_order())
+
     def linear_lookup(self, view: PacketView, now: float) -> Optional[FlowEntry]:
         """The seed O(n) scan, kept as the differential-test reference."""
         self.lookups += 1

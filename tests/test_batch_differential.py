@@ -38,7 +38,7 @@ from repro.openflow.messages import PacketIn, parse_message
 from repro.softswitch import DatapathCostModel, ESWITCH_COST_MODEL, SoftSwitch
 from repro.traffic import BurstSource
 
-ZERO_COST = DatapathCostModel(0, 0, 0, 0, 0, 0)
+ZERO_COST = DatapathCostModel.zero()
 
 MACS = [MACAddress(0x020000000001 + i) for i in range(4)]
 IPS = [IPv4Address(f"10.0.{i // 4}.{i % 4 + 1}") for i in range(8)]
@@ -451,7 +451,7 @@ def test_cost_model_swap_updates_charge_shortcut():
     assert switch.cost_model is ESWITCH_COST_MODEL
     switch.inject(frame, 1)
     assert switch.busy_until > 0.0  # eswitch model charges again
-    switch.cost_model = DatapathCostModel(0, 0, 0, 0, 0, 0)
+    switch.cost_model = DatapathCostModel.zero()
     busy = switch.busy_until
     switch.inject(frame, 1)
     assert switch.busy_until == busy  # back to free

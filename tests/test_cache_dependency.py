@@ -30,7 +30,7 @@ from repro.softswitch import DatapathCostModel, SoftSwitch
 from repro.softswitch.fastpath import CachedPath, DatapathFlowCache
 from repro.softswitch.flowtable import FlowEntry
 
-ZERO_COST = DatapathCostModel(0, 0, 0, 0, 0, 0)
+ZERO_COST = DatapathCostModel.zero()
 
 MAC_A = MACAddress("02:00:00:00:00:01")
 MAC_B = MACAddress("02:00:00:00:00:02")
@@ -48,8 +48,16 @@ class Sink(Node):
 
 def build_switch(num_sinks=3, num_tables=4):
     sim = Simulator()
+    # This file pins the *interpreted* tier's cache scoping; the
+    # specialized tier 0 would intercept the traffic before the cache
+    # (its own differential suite lives in test_specialization*.py).
     switch = SoftSwitch(
-        sim, "ss", datapath_id=1, cost_model=ZERO_COST, num_tables=num_tables
+        sim,
+        "ss",
+        datapath_id=1,
+        cost_model=ZERO_COST,
+        num_tables=num_tables,
+        enable_specialization=False,
     )
     sinks = []
     for index in range(num_sinks):

@@ -10,7 +10,7 @@ from repro.openflow import FlowStatsRequest, Match, OutputAction
 from repro.openflow.messages import FlowStatsReply
 from repro.softswitch import DatapathCostModel, SoftSwitch
 
-ZERO_COST = DatapathCostModel(0, 0, 0, 0, 0, 0)
+ZERO_COST = DatapathCostModel.zero()
 
 
 def build(num_hosts=3, latency_s=10e-6):

@@ -37,7 +37,7 @@ from repro.softswitch import DatapathCostModel, SoftSwitch
 from repro.softswitch.fastpath import CachedPath, DatapathFlowCache
 from repro.softswitch.flowtable import FlowEntry, FlowTable
 
-ZERO_COST = DatapathCostModel(0, 0, 0, 0, 0, 0)
+ZERO_COST = DatapathCostModel.zero()
 
 MACS = [MACAddress(0x020000000001 + i) for i in range(4)]
 IPS = [IPv4Address(f"10.0.{i // 4}.{i % 4 + 1}") for i in range(8)]

@@ -53,7 +53,7 @@ def build_switch(num_sinks=3, cost_model=None):
         sim,
         "ss",
         datapath_id=0x1,
-        cost_model=cost_model or DatapathCostModel(0, 0, 0, 0, 0, 0),
+        cost_model=cost_model or DatapathCostModel.zero(),
     )
     sinks = []
     for index in range(num_sinks):

@@ -1,0 +1,398 @@
+"""Unit tests for the ESwitch-style datapath compiler.
+
+Covers the three contracts the specialized tier 0 lives by:
+
+* **miniflow shrinking** — the partial flow-key extractor must agree
+  with the full ``PacketView`` decode on every slot subset, including
+  malformed packets whose decode errors the full path swallows;
+* **eligibility** — pipelines the compiler cannot reproduce
+  bit-identically (multi-table, groups, packet-ins, mortal flows,
+  subclassed cost models) must be rejected, leaving the interpreter;
+* **churn hysteresis / invalidation** — FlowMod, GroupMod and
+  cost-model swaps mark the program stale *synchronously* (a stale
+  program is never executed), mods are counted towards the recompile
+  trigger, and recompiles pick up the new table shape.
+"""
+
+import random
+
+from repro.net import EthernetFrame, IPv4Address, MACAddress
+from repro.net.build import tcp_frame, udp_frame
+from repro.net.tcp import TcpSegment
+from repro.netsim import Simulator
+from repro.netsim.link import wire
+from repro.netsim.node import Node
+from repro.openflow import (
+    ApplyActions,
+    Bucket,
+    FlowMod,
+    GotoTable,
+    GroupAction,
+    GroupMod,
+    Match,
+    OutputAction,
+    PushVlanAction,
+    SetFieldAction,
+)
+from repro.openflow import consts as c
+from repro.openflow.packetview import (
+    FLOW_KEY_FIELDS,
+    PacketView,
+    compile_flow_key_extractor,
+)
+from repro.softswitch import DatapathCostModel, SoftSwitch, compile_datapath
+
+ZERO_COST = DatapathCostModel.zero()
+
+MACS = [MACAddress(0x020000000001 + i) for i in range(4)]
+IPS = [IPv4Address(f"10.0.{i // 4}.{i % 4 + 1}") for i in range(8)]
+
+
+class Sink(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def receive(self, port, frame):
+        self.received.append(frame.to_bytes())
+
+
+def random_frame(rng: random.Random) -> EthernetFrame:
+    roll = rng.random()
+    if roll < 0.1:  # non-IP: every L3/L4 slot must come back None
+        return EthernetFrame(
+            dst=rng.choice(MACS), src=rng.choice(MACS), ethertype=0x0806,
+            payload=b"\x00" * 28,
+        )
+    if roll < 0.18:  # malformed L3: decode error swallowed identically
+        return EthernetFrame(
+            dst=rng.choice(MACS), src=rng.choice(MACS), ethertype=0x0800,
+            payload=b"\x45\x00",
+        )
+    src_mac, dst_mac = rng.choice(MACS), rng.choice(MACS)
+    src_ip, dst_ip = rng.choice(IPS), rng.choice(IPS)
+    vlan_id = rng.choice((None, None, 100, 101))
+    if roll < 0.55:
+        frame = udp_frame(
+            src_mac, dst_mac, src_ip, dst_ip,
+            rng.choice((53, 80)), rng.choice((53, 80)), b"x", vlan_id=vlan_id,
+        )
+    else:
+        frame = tcp_frame(
+            src_mac, dst_mac, src_ip, dst_ip,
+            TcpSegment(rng.choice((53, 80)), rng.choice((53, 80))), vlan_id=vlan_id,
+        )
+    if rng.random() < 0.3:
+        return corrupt(rng, frame)
+    return frame
+
+
+def corrupt(rng: random.Random, frame: EthernetFrame) -> EthernetFrame:
+    """Break one header invariant; the partial extractor must swallow
+    decode failures exactly where the full decode does."""
+    payload = bytearray(frame.payload)
+    kind = rng.randrange(6)
+    if kind == 0:  # flip a byte (usually a checksum mismatch)
+        payload[rng.randrange(len(payload))] ^= 0xFF
+    elif kind == 1:  # truncate mid-header or mid-L4
+        payload = payload[: rng.randrange(len(payload))]
+    elif kind == 2:  # absurd total length
+        payload[2] = 0xFF
+        payload[3] = rng.randrange(256)
+    elif kind == 3:  # wrong IP version nibble
+        payload[0] = (6 << 4) | (payload[0] & 0x0F)
+    elif kind == 4:  # bad IHL (too small or pointing past the buffer)
+        payload[0] = (payload[0] & 0xF0) | rng.choice((0, 3, 15))
+    else:  # L4 mangling: UDP length field / TCP data offset
+        if len(payload) >= 26:
+            payload[24] = rng.choice((0x00, 0xF0))
+    broken = frame.copy()
+    broken.payload = bytes(payload)
+    return broken
+
+
+class TestMiniflowShrinking:
+    def test_partial_extraction_matches_full_decode(self):
+        """Random slot subsets vs the full decode: slot-exact agreement."""
+        rng = random.Random(0x511CE)
+        cases = 0
+        all_slots = range(len(FLOW_KEY_FIELDS))
+        for _ in range(120):
+            frame = random_frame(rng)
+            in_port = rng.randint(1, 4)
+            full = PacketView(frame, in_port).flow_key()
+            for _ in range(6):
+                slots = tuple(
+                    sorted(rng.sample(list(all_slots), rng.randint(0, 8)))
+                )
+                fresh = PacketView(frame, in_port)  # no cached key
+                assert fresh.flow_key_for(slots) == tuple(
+                    full[slot] for slot in slots
+                ), (frame, slots)
+                cases += 1
+        assert cases >= 700
+
+    def test_flow_key_for_uses_cached_key(self):
+        frame = udp_frame(MACS[0], MACS[1], IPS[0], IPS[1], 53, 80, b"x")
+        view = PacketView(frame, 2)
+        full = view.flow_key()
+        assert view.flow_key_for((0, 9, 13)) == (2, full[9], full[13])
+
+    def test_extractor_compiled_once_per_slot_set(self):
+        first = compile_flow_key_extractor((3, 9))
+        again = compile_flow_key_extractor([9, 3, 9])  # order/dupes normalised
+        assert first is again
+        assert "internet_checksum" in first.__source__  # L3 validation emitted
+        # A pipeline not touching L3 must not emit the L3 decode at all.
+        l2_only = compile_flow_key_extractor((0, 1, 3))
+        assert "internet_checksum" not in l2_only.__source__
+        assert "payload" not in l2_only.__source__
+
+
+def output(port):
+    return [ApplyActions(actions=(OutputAction(port=port),))]
+
+
+def build_switch(num_sinks=3, **kwargs):
+    sim = Simulator()
+    switch = SoftSwitch(
+        sim, "ss", datapath_id=1, cost_model=ZERO_COST, **kwargs
+    )
+    sinks = []
+    for index in range(num_sinks):
+        sink = Sink(sim, f"sink{index + 1}")
+        wire(switch, sink, bandwidth_bps=None, propagation_delay_s=0.0)
+        sinks.append(sink)
+    return sim, switch, sinks
+
+
+def install(switch, **kwargs):
+    assert switch.handle_message(FlowMod(**kwargs).to_bytes()) == []
+
+
+def frame_ab(dst_port=2000):
+    return udp_frame(MACS[0], MACS[1], IPS[0], IPS[1], 1000, dst_port, b"x" * 32)
+
+
+class TestEligibility:
+    def test_single_table_output_pipeline_compiles(self):
+        _, switch, _ = build_switch()
+        install(switch, match=Match(in_port=1), instructions=output(2))
+        install(switch, match=Match(), priority=0, instructions=[])
+        program = compile_datapath(switch)
+        assert program is not None
+        assert program.used_slots == (0,)  # only in_port is matched
+        assert len(program.plans) == 0  # plans build lazily per selected entry
+
+    def test_vlan_and_setfield_sequences_compile(self):
+        _, switch, _ = build_switch()
+        install(
+            switch,
+            match=Match(in_port=1),
+            instructions=[
+                ApplyActions(
+                    actions=(
+                        PushVlanAction(),
+                        SetFieldAction.vlan_vid(101),
+                        OutputAction(port=2),
+                        OutputAction(port=3),
+                    )
+                )
+            ],
+        )
+        assert compile_datapath(switch) is not None
+
+    def test_multi_table_pipeline_rejected(self):
+        _, switch, _ = build_switch()
+        install(switch, match=Match(in_port=1), instructions=[GotoTable(table_id=1)])
+        install(switch, table_id=1, match=Match(), instructions=output(2))
+        assert compile_datapath(switch) is None
+
+    def test_mortal_flow_rejected(self):
+        _, switch, _ = build_switch()
+        install(switch, match=Match(in_port=1), hard_timeout=5, instructions=output(2))
+        assert compile_datapath(switch) is None
+
+    def test_group_action_rejected(self):
+        _, switch, _ = build_switch()
+        switch.handle_message(
+            GroupMod(
+                command=c.OFPGC_ADD,
+                group_type=c.OFPGT_INDIRECT,
+                group_id=1,
+                buckets=[Bucket(actions=[OutputAction(port=2)])],
+            ).to_bytes()
+        )
+        install(
+            switch,
+            match=Match(in_port=1),
+            instructions=[ApplyActions(actions=(GroupAction(group_id=1),))],
+        )
+        assert compile_datapath(switch) is None
+
+    def test_controller_output_rejected(self):
+        _, switch, _ = build_switch()
+        install(
+            switch,
+            match=Match(),
+            priority=0,
+            instructions=[ApplyActions(actions=(OutputAction(port=c.OFPP_CONTROLLER),))],
+        )
+        assert compile_datapath(switch) is None
+
+    def test_subclassed_cost_model_rejected(self):
+        class WeirdModel(DatapathCostModel):
+            pass
+
+        _, switch, _ = build_switch()
+        switch.cost_model = WeirdModel.zero()
+        install(switch, match=Match(in_port=1), instructions=output(2))
+        assert compile_datapath(switch) is None
+
+    def test_masked_pipeline_compiles_with_subtable_probes(self):
+        _, switch, _ = build_switch()
+        install(
+            switch,
+            match=Match(eth_type=0x0800, ipv4_dst=("10.0.1.0", "255.255.255.0")),
+            priority=5,
+            instructions=output(2),
+        )
+        program = compile_datapath(switch)
+        assert program is not None
+        assert "& 0xffffff00" in program.source  # the baked subtable mask
+
+
+class TestHysteresisAndInvalidation:
+    def _specialized(self, after_mods=1, quiescent=0.0):
+        sim, switch, sinks = build_switch()
+        switch.recompile_after_mods = after_mods
+        switch.recompile_quiescent_s = quiescent
+        return sim, switch, sinks
+
+    def test_flowmod_invalidates_and_recompile_waits_for_threshold(self):
+        sim, switch, sinks = self._specialized(after_mods=3, quiescent=100.0)
+        for index in range(3):
+            install(
+                switch,
+                match=Match(in_port=index + 1),
+                priority=1,
+                instructions=output(2),
+            )
+        switch.inject(frame_ab(), 1)  # 3 pending mods >= 3: compiles
+        assert switch.program is not None
+        first = switch.program
+        assert switch.specialized_frames == 1
+        install(switch, match=Match(in_port=1), priority=9, instructions=output(3))
+        # Stale synchronously: the program is gone before any packet.
+        assert switch.program is None
+        assert switch.program_invalidations == 1
+        switch.inject(frame_ab(), 1)  # 1 pending mod < 3: interpreted
+        assert switch.program is None
+        assert switch.fallback_frames == 1
+        install(switch, match=Match(in_port=2), priority=9, instructions=output(3))
+        install(switch, match=Match(in_port=3), priority=9, instructions=output(3))
+        switch.inject(frame_ab(), 1)  # threshold reached again
+        assert switch.program is not None
+        assert switch.program is not first  # a fresh compile, not the stale one
+        assert switch.program_compiles == 2
+        sim.run()
+        # Traffic went out port 2 twice (pre-mod program + fallback) and
+        # then port 3 once under the higher-priority redirect.
+        assert len(sinks[1].received) == 1
+        assert len(sinks[2].received) == 2
+
+    def test_quiescent_interval_triggers_recompile(self):
+        sim, switch, _ = self._specialized(after_mods=1000, quiescent=0.5)
+        install(switch, match=Match(in_port=1), instructions=output(2))
+        switch.inject(frame_ab(), 1)
+        assert switch.program is None  # 1 mod, not yet quiet long enough
+        sim.run(until=1.0)
+        switch.inject(frame_ab(), 1)
+        assert switch.program is not None
+        assert switch.program_compiles == 1
+
+    def test_mod_counting_feeds_pending_mods(self):
+        _, switch, _ = self._specialized(after_mods=100, quiescent=100.0)
+        install(switch, match=Match(in_port=1), instructions=output(2))
+        install(switch, match=Match(in_port=2), instructions=output(2))
+        # A no-op delete mutates nothing and must not count as churn.
+        switch.handle_message(
+            FlowMod(command=c.OFPFC_DELETE, match=Match(in_port=7)).to_bytes()
+        )
+        assert switch.stats()["specialization"]["pending_mods"] == 2
+        switch.handle_message(
+            FlowMod(command=c.OFPFC_DELETE, match=Match(in_port=2)).to_bytes()
+        )
+        assert switch.stats()["specialization"]["pending_mods"] == 3
+
+    def test_recompile_picks_up_table_shape_change(self):
+        _, switch, _ = self._specialized()
+        install(switch, match=Match(eth_dst=int(MACS[1])), instructions=output(2))
+        switch.inject(frame_ab(), 1)
+        assert switch.program.used_slots == (1,)
+        install(
+            switch,
+            match=Match(eth_type=0x0800, udp_dst=2000),
+            priority=9,
+            instructions=output(3),
+        )
+        switch.inject(frame_ab(), 1)
+        assert switch.program.used_slots == (1, 3, 13)  # shape recompiled
+
+    def test_group_mod_marks_stale(self):
+        _, switch, _ = self._specialized()
+        install(switch, match=Match(in_port=1), instructions=output(2))
+        switch.inject(frame_ab(), 1)
+        assert switch.program is not None
+        switch.handle_message(
+            GroupMod(
+                command=c.OFPGC_ADD,
+                group_type=c.OFPGT_INDIRECT,
+                group_id=9,
+                buckets=[Bucket(actions=[OutputAction(port=2)])],
+            ).to_bytes()
+        )
+        assert switch.program is None
+        assert switch.program_invalidations == 1
+
+    def test_cost_model_swap_marks_stale(self):
+        _, switch, _ = self._specialized()
+        install(switch, match=Match(in_port=1), instructions=output(2))
+        switch.inject(frame_ab(), 1)
+        assert switch.program is not None
+        switch.cost_model = DatapathCostModel()
+        assert switch.program is None
+        switch.inject(frame_ab(), 1)  # recompiles with the new constants
+        assert switch.program is not None
+
+    def test_uncompilable_pipeline_stays_interpreted_without_retry_storm(self):
+        _, switch, _ = self._specialized()
+        install(switch, match=Match(in_port=1), instructions=[GotoTable(table_id=1)])
+        install(switch, table_id=1, match=Match(), instructions=output(2))
+        switch.inject(frame_ab(), 1)
+        assert switch.program is None
+        assert switch.program_compile_failures == 1
+        switch.inject(frame_ab(), 1)  # no pending mods: no second attempt
+        assert switch.program_compile_failures == 1
+        assert switch.fallback_frames == 2
+
+    def test_specialization_disabled_never_compiles(self):
+        _, switch, _ = build_switch(enable_specialization=False)
+        switch.recompile_after_mods = 1
+        switch.recompile_quiescent_s = 0.0
+        install(switch, match=Match(in_port=1), instructions=output(2))
+        switch.inject(frame_ab(), 1)
+        assert switch.program is None
+        assert switch.program_compiles == 0
+        assert switch.fallback_frames == 0  # counter reserved for enabled switches
+
+    def test_stats_shape(self):
+        _, switch, _ = self._specialized()
+        install(switch, match=Match(in_port=1), instructions=output(2))
+        switch.inject(frame_ab(), 1)
+        stats = switch.stats()
+        spec = stats["specialization"]
+        assert spec["enabled"] and spec["active"]
+        assert spec["compiles"] == 1
+        assert spec["specialized_frames"] == 1
+        assert stats["cache"]["size"] == 0  # tier 0 never touched the cache

@@ -181,7 +181,7 @@ class TestTierMigration:
 
         sim = Simulator()
         return sim, SoftSwitch(
-            sim, "ss", datapath_id=1, cost_model=DatapathCostModel(0, 0, 0, 0, 0, 0)
+            sim, "ss", datapath_id=1, cost_model=DatapathCostModel.zero()
         )
 
     def test_masked_to_exact_refinement(self):
