@@ -7,7 +7,7 @@ paper's introduction argues about.
 Run:  python examples/migration_planning.py
 """
 
-from repro.core import MigrationPlanner, MigrationStrategy, SwitchSite
+from repro.core import MigrationPlanner, SwitchSite
 from repro.costmodel import CostModel
 
 

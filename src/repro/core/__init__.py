@@ -12,11 +12,20 @@ Hybrid ARchitecture to Migrate Legacy Ethernet Switches to SDN:
   install translator rules, connect the SDN controller,
 * :mod:`repro.core.migration` — multi-switch incremental migration
   planning (waves, hybrid operation, cost/downtime accounting),
+  executed for real against a :mod:`repro.fabric` topology by
+  :class:`repro.core.manager.HarmlessFleet`,
 * :mod:`repro.core.verify` — data-plane transparency verification by
   differential testing against an ideal OpenFlow switch.
 """
 
-from repro.core.manager import HarmlessDeployment, HarmlessError, HarmlessManager
+from repro.core.manager import (
+    FleetWaveReport,
+    HarmlessDeployment,
+    HarmlessError,
+    HarmlessFleet,
+    HarmlessManager,
+    ReachabilityReport,
+)
 from repro.core.migration import (
     MigrationPlan,
     MigrationPlanner,
@@ -36,6 +45,9 @@ __all__ = [
     "HarmlessManager",
     "HarmlessDeployment",
     "HarmlessError",
+    "HarmlessFleet",
+    "FleetWaveReport",
+    "ReachabilityReport",
     "MigrationPlanner",
     "MigrationPlan",
     "MigrationStrategy",

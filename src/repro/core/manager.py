@@ -6,21 +6,42 @@ corresponding flow rules into SS_1 and connects SS_2 to the SDN
 controller."  Discovery and configuration go through the NAPALM-style
 driver (which speaks SNMP to the device), so the manager is vendor-
 neutral exactly as the paper claims.
+
+Two scales of orchestration live here:
+
+* :class:`HarmlessManager` — migrates one switch at a time (the
+  paper's single-device workflow);
+* :class:`HarmlessFleet` — executes a :class:`repro.core.migration
+  .MigrationPlan` against a real :class:`repro.fabric.topology.Fabric`:
+  wave by wave, mid-simulation, with un-migrated legacy switches
+  forwarding throughout and all-pairs host reachability verified after
+  every wave (the hybrid operation regime the ONF migration brief
+  describes).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.controller.core import Controller, Datapath
 from repro.legacy.switch import LegacySwitch
-from repro.mgmt.base import ConfigOp, DriverError, NetworkDriver
-from repro.netsim.link import Link
+from repro.mgmt.base import ConfigOp, NetworkDriver
+from repro.netsim.link import DEFAULT_QUEUE_FRAMES, Link
 from repro.netsim.simulator import Simulator
 from repro.softswitch.costmodel import DatapathCostModel, ESWITCH_COST_MODEL
+from repro.core.migration import (
+    MigrationPlan,
+    MigrationPlanner,
+    MigrationStrategy,
+    MigrationWave,
+    SwitchSite,
+)
 from repro.core.portmap import DEFAULT_VLAN_BASE, PortVlanMap
 from repro.core.s4 import SS1_TRUNK_PORT, HarmlessS4
+
+if TYPE_CHECKING:  # pragma: no cover - layering: fabric imports nothing from core
+    from repro.fabric.topology import Fabric
 
 #: Default trunk interconnect speed (legacy switch <-> server NIC).
 DEFAULT_TRUNK_BANDWIDTH_BPS = 10_000_000_000
@@ -83,12 +104,16 @@ class HarmlessManager:
         vlan_base: int = DEFAULT_VLAN_BASE,
         cost_model: DatapathCostModel = ESWITCH_COST_MODEL,
         trunk_bandwidth_bps: float = DEFAULT_TRUNK_BANDWIDTH_BPS,
+        queue_frames: int = DEFAULT_QUEUE_FRAMES,
     ) -> None:
         self.sim = sim
         self.controller = controller
         self.vlan_base = vlan_base
         self.cost_model = cost_model
         self.trunk_bandwidth_bps = trunk_bandwidth_bps
+        #: Drop-tail depth of the S4 trunk and patch links (burst-heavy
+        #: fabric benches raise it so coalesced bursts are not tail-dropped).
+        self.queue_frames = queue_frames
         self._next_dpid = 0x100
         self.deployments: list[HarmlessDeployment] = []
 
@@ -160,12 +185,14 @@ class HarmlessManager:
                 access_ports=access_ports,
                 datapath_id=dpid,
                 cost_model=self.cost_model,
+                queue_frames=self.queue_frames,
             )
             trunk_link = Link(
                 legacy_switch.port(trunk_port),
                 s4.trunk_port,
                 bandwidth_bps=self.trunk_bandwidth_bps,
                 propagation_delay_s=DEFAULT_TRUNK_DELAY_S,
+                queue_frames=self.queue_frames,
                 name=f"{legacy_switch.name}-trunk",
             )
             log.append(
@@ -246,3 +273,262 @@ class HarmlessManager:
         if deployment.s4.translator_rules is None:
             problems.append("SS_1 has no translator rules")
         return problems
+
+
+# --------------------------------------------------------------------------
+# Network-wide rollout: executing migration plans against a live fabric
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ReachabilityReport:
+    """Outcome of one all-pairs reachability sweep."""
+
+    pairs: int
+    answered: int
+    lost: "list[tuple[str, str]]" = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.lost
+
+    @property
+    def loss_rate(self) -> float:
+        return len(self.lost) / self.pairs if self.pairs else 0.0
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"reachability OK ({self.answered}/{self.pairs} pairs)"
+        sample = ", ".join(f"{a}->{b}" for a, b in self.lost[:5])
+        more = "" if len(self.lost) <= 5 else f" (+{len(self.lost) - 5} more)"
+        return (
+            f"reachability FAILED: {len(self.lost)}/{self.pairs} pairs lost "
+            f"[{sample}{more}]"
+        )
+
+
+@dataclass
+class FleetWaveReport:
+    """One executed wave: what migrated and whether the fabric held."""
+
+    index: int
+    sites: "list[str]"
+    capex_usd: float
+    downtime_s: float
+    sdn_ports_after: int
+    deployments: "list[HarmlessDeployment]"
+    reachability: "ReachabilityReport | None" = None
+
+    def describe(self) -> str:
+        names = ",".join(self.sites)
+        line = (
+            f"wave {self.index}: migrated [{names}] "
+            f"capex ${self.capex_usd:,.0f} -> {self.sdn_ports_after} SDN ports"
+        )
+        if self.reachability is not None:
+            line += f"; {self.reachability.describe()}"
+        return line
+
+
+class HarmlessFleet:
+    """Network-wide HARMLESS rollout over a multi-switch fabric.
+
+    Where :class:`repro.core.migration.MigrationPlanner` only *accounts*
+    waves over abstract sites, the fleet executes them: each wave
+    migrates its fabric switches mid-simulation through one shared
+    :class:`HarmlessManager` (one SDN controller, one growing set of S4
+    deployments), while un-migrated switches keep forwarding as plain
+    802.1Q bridges.  Inter-switch links are re-homed onto the migrated
+    datapaths by the migration itself — the uplink port becomes a
+    managed access port whose traffic hairpins through SS_1/SS_2, so a
+    frame crossing N migrated hops traverses N software datapaths.
+
+    After each wave the fleet runs an all-pairs ping sweep across every
+    fabric host, proving the hybrid (part-legacy, part-SDN) network
+    stayed connected — the property the incremental strategy is sold on.
+    """
+
+    def __init__(
+        self,
+        fabric: "Fabric",
+        controller: "Controller | None" = None,
+        wave_size: int = 2,
+        vlan_base: int = DEFAULT_VLAN_BASE,
+        cost_model: DatapathCostModel = ESWITCH_COST_MODEL,
+        trunk_bandwidth_bps: float = DEFAULT_TRUNK_BANDWIDTH_BPS,
+        queue_frames: int = DEFAULT_QUEUE_FRAMES,
+        controller_latency_s: float = 50e-6,
+        settle_s: float = 0.05,
+        verify_window_s: float = 2.0,
+    ) -> None:
+        self.fabric = fabric
+        if controller is None:
+            # Late import: apps sit above core in the layering.
+            from repro.apps.learning_switch import LearningSwitchApp
+
+            controller = Controller(fabric.sim)
+            controller.add_app(LearningSwitchApp())
+        self.controller = controller
+        self.manager = HarmlessManager(
+            fabric.sim,
+            controller=controller,
+            vlan_base=vlan_base,
+            cost_model=cost_model,
+            trunk_bandwidth_bps=trunk_bandwidth_bps,
+            queue_frames=queue_frames,
+        )
+        self.controller_latency_s = controller_latency_s
+        self.settle_s = settle_s
+        self.verify_window_s = verify_window_s
+        #: Site order is the fabric's insertion order (edge tier first).
+        self._site_order = list(fabric.sites)
+        self.plan: MigrationPlan = MigrationPlanner(
+            [self._planning_site(name) for name in self._site_order]
+        ).plan(MigrationStrategy.HARMLESS_WAVES, wave_size=wave_size)
+        self.reports: "list[FleetWaveReport]" = []
+        self.deployments: "dict[str, HarmlessDeployment]" = {}
+
+    def _planning_site(self, name: str) -> SwitchSite:
+        site = self.fabric.sites[name]
+        return SwitchSite(
+            name=name,
+            ports=len(site.switch.ports),
+            ports_in_use=len(site.access_ports),
+        )
+
+    # ------------------------------------------------------------- state
+
+    @property
+    def migrated_sites(self) -> "list[str]":
+        return [name for report in self.reports for name in report.sites]
+
+    @property
+    def pending_waves(self) -> "list[MigrationWave]":
+        return self.plan.waves[len(self.reports):]
+
+    @property
+    def complete(self) -> bool:
+        return not self.pending_waves
+
+    # ---------------------------------------------------------- execution
+
+    def migrate_next_wave(self, verify: bool = True) -> FleetWaveReport:
+        """Execute the next planned wave; returns its report."""
+        if self.complete:
+            raise HarmlessError("migration plan already fully executed")
+        wave = self.plan.waves[len(self.reports)]
+        deployments = []
+        try:
+            for planned in wave.sites:
+                site = self.fabric.sites[planned.name]
+                deployment = self.manager.migrate(
+                    site.switch,
+                    site.driver,
+                    trunk_port=site.trunk_port,
+                    access_ports=site.access_ports,
+                    controller_latency_s=self.controller_latency_s,
+                )
+                deployments.append(deployment)
+                self.deployments[planned.name] = deployment
+        except Exception as exc:
+            # Unwind the wave's partial progress so it can be retried:
+            # restore each migrated site's legacy config, unwire its S4
+            # trunk (freeing the reserved port) and forget the
+            # deployment — the fleet's state then matches the fabric's.
+            for deployment in reversed(deployments):
+                deployment.teardown()
+                deployment.trunk_link.disconnect()
+                self.manager.deployments.remove(deployment)
+                self.deployments = {
+                    name: kept
+                    for name, kept in self.deployments.items()
+                    if kept is not deployment
+                }
+            raise HarmlessError(
+                f"wave {wave.index} failed and was rolled back: {exc}"
+            ) from exc
+        # Let the OpenFlow handshakes and table-miss installs complete
+        # before any verification traffic hits the new datapaths.
+        self.fabric.sim.run(until=self.fabric.sim.now + self.settle_s)
+        report = FleetWaveReport(
+            index=wave.index,
+            sites=[planned.name for planned in wave.sites],
+            capex_usd=wave.capex_usd,
+            downtime_s=wave.downtime_s,
+            sdn_ports_after=wave.sdn_ports_after,
+            deployments=deployments,
+            reachability=self.verify_reachability() if verify else None,
+        )
+        self.reports.append(report)
+        return report
+
+    def migrate_all(
+        self, verify: bool = True, strict: bool = False
+    ) -> "list[FleetWaveReport]":
+        """Execute every remaining wave in plan order.
+
+        With *strict* a failed post-wave reachability sweep raises
+        :class:`HarmlessError` instead of carrying on.
+        """
+        while not self.complete:
+            report = self.migrate_next_wave(verify=verify)
+            if strict and report.reachability is not None and not report.reachability.ok:
+                raise HarmlessError(
+                    f"wave {report.index} broke the fabric: "
+                    f"{report.reachability.describe()}"
+                )
+        return self.reports
+
+    # --------------------------------------------------------- validation
+
+    def verify_reachability(
+        self, hosts: "list | None" = None
+    ) -> ReachabilityReport:
+        """All-pairs ping sweep across the fabric's hosts.
+
+        Every ordered (src, dst) host pair sends one echo request; the
+        simulation then runs for ``verify_window_s`` so replies (and
+        ping timeouts) resolve.  Works at any point of the rollout —
+        before, between and after waves — because legacy bridging and
+        migrated S4 hops interoperate on the same untagged frames.
+        """
+        sim = self.fabric.sim
+        hosts = list(hosts if hosts is not None else self.fabric.hosts)
+        probes = []
+        for src in hosts:
+            for dst in hosts:
+                if src is dst:
+                    continue
+                probes.append((src, dst, src.ping(dst.ip)))
+        sim.run(until=sim.now + self.verify_window_s)
+        lost = [
+            (src.name, dst.name)
+            for src, dst, result in probes
+            if result.lost
+        ]
+        return ReachabilityReport(
+            pairs=len(probes), answered=len(probes) - len(lost), lost=lost
+        )
+
+    def verify_deployments(self) -> "dict[str, list[str]]":
+        """Per-site read-back validation; only unhealthy sites appear."""
+        problems = {}
+        for name, deployment in self.deployments.items():
+            site_problems = self.manager.verify_deployment(deployment)
+            if site_problems:
+                problems[name] = site_problems
+        return problems
+
+    # ------------------------------------------------------------- output
+
+    def describe(self) -> str:
+        lines = [
+            f"HARMLESS fleet over fabric '{self.fabric.kind}': "
+            f"{len(self.migrated_sites)}/{len(self._site_order)} sites migrated, "
+            f"{len(self.reports)}/{self.plan.num_waves} waves executed"
+        ]
+        lines.extend(f"  {report.describe()}" for report in self.reports)
+        for wave in self.pending_waves:
+            names = ",".join(site.name for site in wave.sites)
+            lines.append(f"  wave {wave.index}: pending [{names}]")
+        return "\n".join(lines)

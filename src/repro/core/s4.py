@@ -13,7 +13,7 @@ memory.
 
 from __future__ import annotations
 
-from repro.netsim.link import Link
+from repro.netsim.link import DEFAULT_QUEUE_FRAMES, Link
 from repro.netsim.simulator import Simulator
 from repro.openflow.messages import parse_message
 from repro.softswitch.costmodel import DatapathCostModel, ESWITCH_COST_MODEL
@@ -39,6 +39,7 @@ class HarmlessS4:
         access_ports: "list[int]",
         datapath_id: int,
         cost_model: DatapathCostModel = ESWITCH_COST_MODEL,
+        queue_frames: int = DEFAULT_QUEUE_FRAMES,
     ) -> None:
         if not access_ports:
             raise ValueError("HARMLESS-S4 needs at least one managed access port")
@@ -73,6 +74,7 @@ class HarmlessS4:
                 ss2_port,
                 bandwidth_bps=None,
                 propagation_delay_s=patch_delay_s,
+                queue_frames=queue_frames,
                 name=f"{name}-patch{access_port}",
             )
             self.patch_port_of[access_port] = access_port

@@ -79,6 +79,18 @@ class Link:
         port_a.link = self
         port_b.link = self
 
+    def disconnect(self) -> None:
+        """Unwire both ports (re-cabling / failed-deployment cleanup).
+
+        Frames already serialised onto the wire still deliver; the
+        ports just stop being attached for future sends, and may be
+        wired to a new link afterwards.
+        """
+        if self.port_a.link is self:
+            self.port_a.link = None
+        if self.port_b.link is self:
+            self.port_b.link = None
+
     def other_end(self, port: Port) -> Port:
         if port is self.port_a:
             return self.port_b

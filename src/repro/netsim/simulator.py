@@ -1,4 +1,23 @@
-"""The event loop: a priority queue of timestamped callbacks."""
+"""The event loop: a priority queue of timestamped callbacks.
+
+A float-seconds clock over a binary heap, with FIFO tie-breaking (the
+``(time, seq)`` ordering) so same-instant events run in schedule
+order.  Two properties matter to the burst-mode pipeline built on top:
+
+* **batch scheduling** — :meth:`Simulator.schedule_many` enqueues a
+  whole ``(time, callback)`` schedule in one call, semantically
+  identical to per-pair :meth:`Simulator.schedule_at` calls; traffic
+  sources hand over entire send schedules and links ride one event
+  per coalesced burst instead of one per frame;
+* **O(1) idle detection** — ``pending_events`` is a live counter
+  maintained by schedule/cancel/pop (an :class:`Event` keeps an
+  ``owner`` back-reference while queued so a late ``cancel()`` cannot
+  corrupt it), which ``run_until_idle`` polls without scanning the
+  heap.
+
+``run(until=...)`` advances the clock to the horizon even when the
+queue drains early, so back-to-back ``run`` calls see monotone time.
+"""
 
 from __future__ import annotations
 

@@ -39,9 +39,24 @@ Anything else — goto chains, groups, packet-ins, mortal flows,
 subclassed cost models — makes :func:`compile_datapath` return None and
 the switch keeps running the interpreted two-tier fast path.  The
 datapath discards the program before the next packet whenever the
-tables, groups or cost model change (see the churn hysteresis in
-:mod:`repro.softswitch.datapath`), so the live index structures the
+tables, groups or cost model change, so the live index structures the
 program references are never probed stale.
+
+**Churn hysteresis.**  Recompilation is *not* per-mutation: a
+FlowMod/GroupMod/expiry/cost-model swap marks the program stale
+synchronously (the next frame falls back to the interpreted path),
+and the datapath recompiles only after ``recompile_after_mods`` (64)
+accumulated mods or a ``recompile_quiescent_s`` (50 ms) quiet
+interval — both knobs on ``SoftSwitch``.  Under sustained churn the
+switch therefore runs interpreted at ~1.0x rather than thrashing the
+compiler; ``SoftSwitch.stats()["specialization"]`` reports compiles,
+invalidations and the specialized/fallback frame split.
+
+On the burst path the compiled program processes
+``process_batch``-shaped bursts directly: one shrunk-key extraction
+and one plan selection per distinct frame *object* per burst (the
+per-frame-object memo), with outputs re-coalesced per egress port —
+so a fabric of migrated hops keeps one link event per burst per hop.
 """
 
 from __future__ import annotations

@@ -30,6 +30,19 @@ Walks untouched by a mutation keep serving hits, so sustained
 control-plane churn against unrelated tables or masks no longer
 flushes the fast path.  ``invalidate()`` (full flush) remains for
 benchmarks that want the old whole-cache behaviour as a baseline.
+
+The cache is also **burst-aware**: :meth:`DatapathFlowCache
+.get_for_burst` validates entry expiry once per (key, burst) instead
+of once per frame, and :attr:`CachedPath.single_output` precomputes
+the dominant replay shape — a single-table walk ending in one
+concrete-port output — so ``SoftSwitch.process_batch`` can replay it
+inline without touching the instruction interpreter (safe because
+MODIFY invalidates by matched entry, which drops the cached property
+along with the path).
+
+Above this cache sits the optional compiled tier 0
+(:mod:`repro.softswitch.compiler`); below it, the staged classifier
+(:mod:`repro.softswitch.flowtable`).
 """
 
 from __future__ import annotations

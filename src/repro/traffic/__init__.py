@@ -2,12 +2,16 @@
 
 from repro.traffic.generators import (
     BurstSource,
+    CrossPodFlow,
     FlowSpec,
+    announcement_frame,
     burst_schedule,
     cbr_schedule,
+    cross_pod_flows,
     interleave_bursts,
     make_flow_population,
     poisson_schedule,
+    station_mac,
     synth_frame,
     zipf_weights,
 )
@@ -22,4 +26,8 @@ __all__ = [
     "burst_schedule",
     "interleave_bursts",
     "BurstSource",
+    "CrossPodFlow",
+    "cross_pod_flows",
+    "station_mac",
+    "announcement_frame",
 ]

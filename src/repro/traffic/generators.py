@@ -21,7 +21,7 @@ import itertools
 import random
 from dataclasses import dataclass
 
-from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.addresses import BROADCAST_MAC, IPv4Address, MACAddress
 from repro.net.build import udp_frame
 from repro.net.ethernet import EthernetFrame
 from repro.netsim.node import Node, Port
@@ -204,6 +204,88 @@ def interleave_bursts(
                 frames.extend([templates[index]] * run)
         bursts.append((start, frames))
     return bursts
+
+
+def station_mac(pod: int, station: int = 0) -> MACAddress:
+    """The MAC a fabric traffic station in *pod* claims for its flows."""
+    if not 0 <= pod < 256 or not 0 <= station < 256:
+        raise ValueError("pod and station indices must fit one byte")
+    return MACAddress(0x02_F0_00_00_00_00 | (pod << 8) | station)
+
+
+@dataclass(frozen=True)
+class CrossPodFlow:
+    """One fabric flow: a 5-tuple travelling between two pods."""
+
+    src_pod: int
+    dst_pod: int
+    spec: FlowSpec
+
+
+def cross_pod_flows(
+    pods: int, per_pair: int = 1, seed: int = 0
+) -> "list[CrossPodFlow]":
+    """Flows between every ordered pod pair of a fabric.
+
+    Each of the ``pods * (pods - 1)`` ordered pairs gets *per_pair*
+    flows whose endpoints are the pods' traffic stations
+    (:func:`station_mac`) and whose IPs/L4 ports make every 5-tuple
+    distinct — so a multi-hop fabric bench exercises many microflow
+    keys per hop while the learning switch only installs one rule per
+    destination MAC.  Frames for a flow enter the fabric at the
+    station of ``src_pod`` and must be delivered to the station of
+    ``dst_pod``.
+    """
+    if pods < 2:
+        raise ValueError("cross-pod traffic needs at least two pods")
+    if per_pair < 1:
+        raise ValueError("per_pair must be at least 1")
+    rng = random.Random(seed)
+    flows = []
+    for src_pod in range(pods):
+        for dst_pod in range(pods):
+            if src_pod == dst_pod:
+                continue
+            for index in range(per_pair):
+                flows.append(
+                    CrossPodFlow(
+                        src_pod=src_pod,
+                        dst_pod=dst_pod,
+                        spec=FlowSpec(
+                            src_mac=station_mac(src_pod),
+                            dst_mac=station_mac(dst_pod),
+                            src_ip=IPv4Address(
+                                f"10.{100 + src_pod}.{dst_pod}.{index + 1}"
+                            ),
+                            dst_ip=IPv4Address(
+                                f"10.{100 + dst_pod}.{src_pod}.{index + 1}"
+                            ),
+                            src_port=rng.randrange(1024, 65536),
+                            dst_port=rng.randrange(1, 1024),
+                        ),
+                    )
+                )
+    return flows
+
+
+def announcement_frame(spec: FlowSpec, payload_len: int = 32) -> EthernetFrame:
+    """A broadcast frame *from the flow's destination* station.
+
+    Played into the fabric at the destination pod before measurement,
+    it floods everywhere and lets every learning switch on the way
+    learn ``spec.dst_mac``'s location — the warm-up that turns the
+    first measured frame of each flow into a data-plane hit instead of
+    a packet-in.
+    """
+    return udp_frame(
+        spec.dst_mac,
+        BROADCAST_MAC,
+        spec.dst_ip,
+        spec.src_ip,
+        spec.dst_port,
+        spec.src_port,
+        payload=b"\x00" * payload_len,
+    )
 
 
 class BurstSource(Node):

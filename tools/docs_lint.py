@@ -1,0 +1,82 @@
+"""Docs lint: every local markdown link must resolve.
+
+Scans the repository's markdown files (root, docs/, benchmarks/) for
+inline links and images, and fails if a link that points into the
+repository targets a file or directory that does not exist.  External
+links (http/https/mailto) and pure in-page anchors are skipped;
+``path#anchor`` links are checked for the path part only.
+
+Run from the repository root (CI does)::
+
+    python tools/docs_lint.py
+"""
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Where markdown worth checking lives (avoids vendored/venv noise).
+MARKDOWN_GLOBS = ("*.md", "docs/*.md", "benchmarks/*.md", "examples/*.md")
+
+#: Generated reference dumps (paper/snippet retrieval) — not repo docs.
+EXCLUDE_NAMES = {"PAPERS.md", "SNIPPETS.md"}
+
+#: Inline markdown links/images: [text](target) — target without spaces.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def iter_markdown_files():
+    seen = set()
+    for pattern in MARKDOWN_GLOBS:
+        for path in sorted(REPO_ROOT.glob(pattern)):
+            if path.name in EXCLUDE_NAMES:
+                continue
+            if path not in seen:
+                seen.add(path)
+                yield path
+
+
+def check_file(path: pathlib.Path) -> "list[str]":
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        resolved = (path.parent / target_path).resolve()
+        try:
+            resolved.relative_to(REPO_ROOT)
+        except ValueError:
+            problems.append(f"{path.relative_to(REPO_ROOT)}: link escapes repo: {target}")
+            continue
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}: broken link: {target}"
+            )
+    return problems
+
+
+def main() -> int:
+    files = list(iter_markdown_files())
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    print(f"docs-lint: checked {len(files)} markdown file(s)")
+    if problems:
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        print(f"FAIL: {len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print("PASS: all local links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
