@@ -23,6 +23,17 @@ Reported per fabric size (2/4/8 edge switches):
 
 Run standalone: ``PYTHONPATH=src python benchmarks/bench_fabric.py
 [--fast]`` — ``--fast`` is the CI smoke mode.
+
+``--shards N`` switches to the **sharded** suite instead: the fabric is
+partitioned at pod boundaries (:mod:`repro.fabric.partition`) and run
+as N parallel per-shard event loops in forked worker processes with
+conservative-lookahead sync.  Results land in a separate artefact
+(``results/fabric_sharded.json``, gated against
+``baselines/fabric_sharded.json``); in full mode the suite also runs
+``shards=1`` on the same fabric and reports ``speedup_vs_1shard``.
+Note the speedup is only meaningful on a multi-core machine — the
+sync protocol is the same regardless, so single-core CI still
+exercises the full code path, just without parallel gain.
 """
 
 import json
@@ -46,6 +57,13 @@ from common import MEASURE_REPEATS, RESULTS_DIR, save_result
 #: Edge-switch counts per mode -> frames measured per run.
 FULL_SIZES = {2: 12_000, 4: 12_000, 8: 12_000}
 SMOKE_SIZES = {2: 4_000, 4: 4_000}
+
+#: Sharded-suite sizes (the tentpole scale: 64+ switches).
+SHARDED_FULL_SIZES = {64: 96_000}
+SHARDED_SMOKE_SIZES = {16: 8_000, 24: 8_000}
+#: Destination pods each source pod targets in the sharded mix
+#: (all-pairs is quadratic at 64 pods; 8 peers saturates every trunk).
+SHARDED_PEERS_PER_POD = 8
 
 #: Frames per coalesced burst (the PR 3/4 sweet spot).
 BURST_SIZE = 32
@@ -217,6 +235,200 @@ def save_json(rows: list, mode: str):
     return path
 
 
+# --------------------------------------------------------------------------
+# Sharded suite (--shards N): parallel per-pod event loops
+# --------------------------------------------------------------------------
+
+
+def sharded_spines(edges: int) -> int:
+    """Spine count for the sharded fabrics — fixed per edge count (so
+    shards=1 and shards=N time the *same* topology), one spine per 8
+    edges, floor 2 so a 2-shard partition always exists."""
+    return max(2, edges // 8)
+
+
+#: Trunk propagation in the sharded fabrics.  The lookahead window (==
+#: min cut-link propagation) bounds how far shards run between sync
+#: barriers; 50 us models long inter-pod trunks (~10 km fiber) and keeps
+#: the barrier rate low.  Identical for every shard count, so the
+#: speedup comparison stays apples-to-apples.
+SHARDED_TRUNK_PROP_S = 50e-6
+
+
+def make_sharded_build(edges: int):
+    """The deterministic ``sim -> Fabric`` callable every shard replays."""
+
+    def build(sim):
+        fabric = leaf_spine_fabric(
+            edges=edges,
+            spines=sharded_spines(edges),
+            hosts_per_edge=1,
+            gen_ports_per_edge=1,
+            processing_delay_s=0.0,
+            host_bandwidth_bps=None,
+            trunk_bandwidth_bps=None,
+            queue_frames=1_000_000,
+            sim=sim,
+        )
+        for link in fabric.trunk_links:
+            link.propagation_delay_s = SHARDED_TRUNK_PROP_S
+        return fabric
+
+    return build
+
+
+def _staggered_singles(frames_with_pods, base_s: float):
+    """One single-frame burst per entry, 2 us apart (no same-instant
+    injections, so shard runs stay tie-free)."""
+    per_pod: "dict[int, list]" = {}
+    for offset, (pod, frame) in enumerate(frames_with_pods):
+        per_pod.setdefault(pod, []).append((base_s + offset * 2e-6, [frame]))
+    return per_pod
+
+
+def run_one_sharded(edges: int, packets: int, shards: int) -> dict:
+    from repro.fabric import ShardedFabric
+
+    build = make_sharded_build(edges)
+    backend = "fork" if shards > 1 else "thread"
+    with ShardedFabric(build, shards=shards, backend=backend) as sharded:
+        fleet = sharded.fleet(
+            record_packet_ins=False,
+            wave_size=4,
+            cost_model=ZERO_COST,
+            queue_frames=1_000_000,
+        )
+        fleet.migrate_all(verify=False)
+        sweep = fleet.verify_reachability()
+        assert sweep["ok"], f"edges={edges} shards={shards}: {sweep['lost'][:5]}"
+
+        edge_names = [site.name for site in sharded.reference.edge_sites()]
+        for pod, name in enumerate(edge_names):
+            sharded.attach_station(name, f"gen{pod}", bandwidth_bps=None)
+        flows = cross_pod_flows(
+            pods=edges,
+            per_pair=FLOWS_PER_PAIR,
+            seed=edges,
+            peers_per_pod=min(SHARDED_PEERS_PER_POD, edges - 1),
+        )
+
+        # Prime: announce every destination, then one frame per flow —
+        # after this the measured run is pure data plane, as in the
+        # single-process suite.
+        base = sharded.stats()["now"]
+        announcements = _staggered_singles(
+            [(flow.dst_pod, announcement_frame(flow.spec)) for flow in flows],
+            base + 1e-3,
+        )
+        for pod, bursts in announcements.items():
+            sharded.start_station(edge_names[pod], 0, bursts)
+        sharded.run()
+        base = sharded.stats()["now"]
+        warmup = _staggered_singles(
+            [(flow.src_pod, flow.spec.frame(payload_len=32)) for flow in flows],
+            base + 1e-3,
+        )
+        for pod, bursts in warmup.items():
+            sharded.start_station(edge_names[pod], 0, bursts)
+        sharded.run()
+
+        samples = []
+        injected_total = 0
+        for _ in range(MEASURE_REPEATS):
+            start_s = sharded.stats()["now"] + 1e-3
+            # pod_bursts only reads len() of its first argument.
+            bursts_per_pod = pod_bursts(edge_names, flows, packets, start_s)
+            injected = sum(
+                len(frames)
+                for bursts in bursts_per_pod
+                for _, frames in bursts
+            )
+            rx_before = sum(
+                row["rx"] for row in sharded.delivered().values()
+            )
+            start = time.perf_counter()
+            for name, bursts in zip(edge_names, bursts_per_pod):
+                sharded.start_station(name, 0, bursts)
+            sharded.run()
+            elapsed = time.perf_counter() - start
+            delivered = (
+                sum(row["rx"] for row in sharded.delivered().values())
+                - rx_before
+            )
+            assert delivered == injected, (
+                f"edges={edges} shards={shards}: {delivered}/{injected}"
+            )
+            samples.append(injected / elapsed)
+            injected_total += injected
+        stats = sharded.stats()
+        assert stats["shadow_drops"] == 0
+    return {
+        "config": "leaf-spine-sharded",
+        "edges": edges,
+        "spines": sharded_spines(edges),
+        "shards": shards,
+        "backend": backend,
+        "packets": injected_total // MEASURE_REPEATS,
+        "pps": statistics.median(samples),
+        "sync_rounds": stats["sync_rounds"],
+        "frames_exported": stats["frames_exported"],
+    }
+
+
+def run_sharded_suite(sizes: dict, shards: int, with_baseline_shard: bool):
+    """One row per (edges, shard count).
+
+    *with_baseline_shard* also measures ``shards=1`` on the identical
+    fabric and annotates the N-shard row with ``speedup_vs_1shard``.
+    """
+    rows = []
+    for edges, packets in sorted(sizes.items()):
+        counts = [1, shards] if with_baseline_shard and shards > 1 else [shards]
+        baseline_pps = None
+        for count in counts:
+            row = run_one_sharded(edges, packets, count)
+            if count == 1:
+                baseline_pps = row["pps"]
+            elif baseline_pps:
+                row["speedup_vs_1shard"] = row["pps"] / baseline_pps
+            rows.append(row)
+    return rows
+
+
+def render_sharded(rows: list, mode: str) -> str:
+    lines = [
+        "=" * 76,
+        "FABRIC-SHARDED: parallel per-pod event loops, "
+        "conservative-lookahead sync",
+        "=" * 76,
+        f"mode: {mode}; burst {BURST_SIZE}, {FLOWS_PER_PAIR} flows/pod-pair, "
+        f"<= {SHARDED_PEERS_PER_POD} peer pods/source, fork workers",
+        "",
+        f"{'edges':>6} {'shards':>7} {'pkts':>7} {'pps':>12} "
+        f"{'sync rounds':>12} {'exported':>9} {'speedup':>8}",
+    ]
+    for row in rows:
+        speedup = (
+            f"{row['speedup_vs_1shard']:>7.2f}x"
+            if "speedup_vs_1shard" in row
+            else f"{'-':>8}"
+        )
+        lines.append(
+            f"{row['edges']:>6} {row['shards']:>7} {row['packets']:>7} "
+            f"{row['pps']:>12.0f} {row['sync_rounds']:>12} "
+            f"{row['frames_exported']:>9} {speedup}"
+        )
+    return "\n".join(lines)
+
+
+def save_json_sharded(rows: list, mode: str):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {"bench": "fabric_sharded", "mode": mode, "rows": rows}
+    path = RESULTS_DIR / "fabric_sharded.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
 def main(argv=None):
     import argparse
 
@@ -224,11 +436,29 @@ def main(argv=None):
     parser.add_argument(
         "--fast", action="store_true", help="CI smoke: small fabrics only"
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the sharded suite with N parallel shard workers "
+        "(writes results/fabric_sharded.json instead of fabric.json)",
+    )
     args = parser.parse_args(argv)
     mode = "smoke" if args.fast else "full"
-    rows = run_suite(SMOKE_SIZES if args.fast else FULL_SIZES)
-    save_result("fabric", render(rows, mode=mode))
-    path = save_json(rows, mode=mode)
+    if args.shards is not None:
+        if args.shards < 1:
+            parser.error("--shards must be >= 1")
+        sizes = SHARDED_SMOKE_SIZES if args.fast else SHARDED_FULL_SIZES
+        rows = run_sharded_suite(
+            sizes, args.shards, with_baseline_shard=not args.fast
+        )
+        save_result("fabric_sharded", render_sharded(rows, mode=mode))
+        path = save_json_sharded(rows, mode=mode)
+    else:
+        rows = run_suite(SMOKE_SIZES if args.fast else FULL_SIZES)
+        save_result("fabric", render(rows, mode=mode))
+        path = save_json(rows, mode=mode)
     print(f"JSON archived at {path}")
 
 

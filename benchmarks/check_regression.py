@@ -45,7 +45,7 @@ RESULTS_DIR = BENCH_DIR / "results"
 #: Keys that identify a row (workload shape), not measurements.
 IDENTITY_KEYS = (
     "bench", "config", "kind", "policy", "flows", "masked_entries", "burst",
-    "edges",
+    "edges", "shards",
 )
 #: Absolute tolerance for hit-rate metrics (fractions in [0, 1]).
 HIT_RATE_TOLERANCE = 0.10

@@ -360,8 +360,16 @@ class HarmlessFleet:
         controller_latency_s: float = 50e-6,
         settle_s: float = 0.05,
         verify_window_s: float = 2.0,
+        owned_sites: "set[str] | None" = None,
     ) -> None:
         self.fabric = fabric
+        #: When the fabric is one shard of a sharded simulation
+        #: (:mod:`repro.fabric.partition`), the shard's fleet replica
+        #: executes the *same* wave plan as every other shard — the
+        #: collective settle/verify runs must stay in lockstep — but
+        #: only actually migrates (and sweeps from) the sites this
+        #: shard owns.  ``None`` (the default) owns everything.
+        self.owned_sites = owned_sites
         if controller is None:
             # Late import: apps sit above core in the layering.
             from repro.apps.learning_switch import LearningSwitchApp
@@ -420,6 +428,11 @@ class HarmlessFleet:
         deployments = []
         try:
             for planned in wave.sites:
+                if (
+                    self.owned_sites is not None
+                    and planned.name not in self.owned_sites
+                ):
+                    continue  # a peer shard's replica migrates this one
                 site = self.fabric.sites[planned.name]
                 deployment = self.manager.migrate(
                     site.switch,
@@ -481,8 +494,17 @@ class HarmlessFleet:
 
     # --------------------------------------------------------- validation
 
+    def _owned_hosts(self) -> list:
+        """Hosts on this fleet's owned sites (all hosts when unsharded)."""
+        return [
+            host
+            for name, site in self.fabric.sites.items()
+            if self.owned_sites is None or name in self.owned_sites
+            for host in site.hosts
+        ]
+
     def verify_reachability(
-        self, hosts: "list | None" = None
+        self, hosts: "list | None" = None, sources: "list | None" = None
     ) -> ReachabilityReport:
         """All-pairs ping sweep across the fabric's hosts.
 
@@ -491,11 +513,19 @@ class HarmlessFleet:
         ping timeouts) resolve.  Works at any point of the rollout —
         before, between and after waves — because legacy bridging and
         migrated S4 hops interoperate on the same untagged frames.
+
+        *sources* restricts which hosts send probes (destinations stay
+        *hosts*); a sharded fleet replica defaults it to the hosts it
+        owns, so the ordered pairs swept across all shards partition
+        the full all-pairs set exactly once.
         """
         sim = self.fabric.sim
         hosts = list(hosts if hosts is not None else self.fabric.hosts)
+        if sources is None:
+            owned = set(map(id, self._owned_hosts()))
+            sources = [host for host in hosts if id(host) in owned]
         probes = []
-        for src in hosts:
+        for src in sources:
             for dst in hosts:
                 if src is dst:
                     continue

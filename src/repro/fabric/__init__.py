@@ -9,6 +9,12 @@ a reserved HARMLESS trunk port on every switch and a management plane
 :class:`repro.core.manager.HarmlessFleet` to migrate wave by wave.
 """
 
+from repro.fabric.partition import (
+    FabricPartition,
+    ShardedFabric,
+    ShardedFleet,
+    partition_fabric,
+)
 from repro.fabric.topology import (
     Fabric,
     FabricSite,
@@ -20,7 +26,11 @@ from repro.fabric.topology import (
 __all__ = [
     "Fabric",
     "FabricSite",
+    "FabricPartition",
+    "ShardedFabric",
+    "ShardedFleet",
     "leaf_spine_fabric",
     "ring_fabric",
     "campus_fabric",
+    "partition_fabric",
 ]

@@ -108,15 +108,19 @@ class Link:
             return 0.0
         return frame.wire_length * 8 / self.bandwidth_bps
 
-    def transmit(self, from_port: Port, frame: EthernetFrame) -> bool:
-        """Queue *frame* for the far end; returns False on tail drop."""
+    def _enqueue_frame(self, from_port: Port, frame: EthernetFrame) -> "float | None":
+        """Serialise one frame onto the wire: drop-tail check, busy-time
+        chaining and stats accounting.  Returns the arrival time at the
+        far end, or None on tail drop.  Shared by :meth:`transmit` and
+        the sharded boundary proxies, which must reproduce this timing
+        bit-for-bit — keep all float math in one place.
+        """
         direction = self._directions[id(from_port)]
-        destination = self.other_end(from_port)
         now = self.sim.now
 
         if direction.queued >= self.queue_frames:
             direction.stats.drops += 1
-            return False
+            return None
 
         serialization = self.serialization_delay(frame)
         start = max(now, direction.busy_until)
@@ -129,7 +133,15 @@ class Link:
         if direction.queued > direction.stats.queue_hwm:
             direction.stats.queue_hwm = direction.queued
 
-        arrival = finish + self.propagation_delay_s
+        return finish + self.propagation_delay_s
+
+    def transmit(self, from_port: Port, frame: EthernetFrame) -> bool:
+        """Queue *frame* for the far end; returns False on tail drop."""
+        arrival = self._enqueue_frame(from_port, frame)
+        if arrival is None:
+            return False
+        direction = self._directions[id(from_port)]
+        destination = self.other_end(from_port)
 
         def deliver() -> None:
             direction.queued -= 1
@@ -151,8 +163,28 @@ class Link:
         that earlier frames are *handed over* at drain time (and the
         queue occupancy drains all at once) rather than one event each.
         """
+        accepted = self._enqueue_burst(from_port, frames)
+        if not accepted:
+            return 0
         direction = self._directions[id(from_port)]
         destination = self.other_end(from_port)
+
+        def deliver() -> None:
+            direction.queued -= len(accepted)
+            destination.deliver_burst(accepted)
+
+        self.sim.schedule_at(accepted[-1][0], deliver)
+        return len(accepted)
+
+    def _enqueue_burst(
+        self, from_port: Port, frames: "list[EthernetFrame]"
+    ) -> "list[tuple[float, EthernetFrame]]":
+        """Serialise a burst onto the wire; returns the accepted
+        ``(arrival, frame)`` pairs (dropped frames are absent).  Like
+        :meth:`_enqueue_frame` this carries all the timing/stat math so
+        the sharded boundary proxies stay bit-identical to local links.
+        """
+        direction = self._directions[id(from_port)]
         now = self.sim.now
         stats = direction.stats
         prop = self.propagation_delay_s
@@ -185,15 +217,7 @@ class Link:
         direction.busy_until = busy
         if direction.queued > stats.queue_hwm:
             stats.queue_hwm = direction.queued
-        if not accepted:
-            return 0
-
-        def deliver() -> None:
-            direction.queued -= len(accepted)
-            destination.deliver_burst(accepted)
-
-        self.sim.schedule_at(accepted[-1][0], deliver)
-        return len(accepted)
+        return accepted
 
     def utilization(self, from_port: Port, elapsed: float) -> float:
         """Fraction of *elapsed* the direction spent serialising frames."""

@@ -1,0 +1,657 @@
+"""Conservative-lookahead sharded simulation.
+
+One :class:`repro.netsim.simulator.Simulator` is single-threaded, so a
+fabric's aggregate packet rate is capped by one core.  This module
+splits a simulation into *shards* — independent event loops that only
+interact across a known set of *boundary links* with positive
+propagation delay — and runs them in parallel with the classic
+conservative (lookahead-window) synchronisation of parallel discrete
+event simulation:
+
+* **Lookahead** ``L`` is the minimum propagation delay over all
+  boundary links.  A frame transmitted at local time ``t`` cannot
+  arrive at a peer shard before ``t + L``.
+* **Windows.**  All shards repeatedly agree on the globally earliest
+  pending event time ``g`` (a one-round all-to-all exchange) and each
+  processes its local events in the half-open window ``[g, g + L)``.
+  Events inside one window cannot generate cross-shard arrivals inside
+  that same window, so no shard ever receives a frame from its past.
+* **Boundary exchange.**  Frames crossing a severed link are serialised
+  on the owning shard with the *exact* arithmetic of
+  :meth:`repro.netsim.link.Link.transmit` /
+  :meth:`~repro.netsim.link.Link.transmit_burst` (tail drop,
+  ``queue_hwm``, per-frame arrival timestamps), shipped as
+  ``(arrival, frame)`` records at the next window barrier, and
+  re-injected on the receiving shard as ordinary ``Port.deliver`` /
+  ``Port.deliver_burst`` events — timestamps are preserved bit-for-bit.
+
+The window exchange piggy-backs each shard's clock and next-event time
+on the boundary records, so idle gaps are fast-forwarded (the window
+start jumps straight to the global next event) and every collective
+``run()`` call leaves all shard clocks at the same value.
+
+Two transports implement the same mesh interface: an in-process
+:class:`ThreadMesh` (used by :class:`ShardedSimulator` and the tests —
+records cross by reference, no serialisation) and per-peer
+``multiprocessing`` pipes (:func:`make_pipe_mesh` +
+:class:`PipeEndpoint`, used by the fork backend in
+:mod:`repro.fabric.partition` for real multi-core parallelism, where
+records are pickled).
+
+What parallelises: everything whose events stay inside one shard —
+datapath batch processing, legacy bridging, controller channels, host
+stacks.  What doesn't: traffic crossing a cut link pays one pickle +
+pipe hop per window, and the window barrier itself is a full
+synchronisation — so shard boundaries should cut *few, fat* burst
+flows (the PR 3 burst pipeline makes inter-pod traffic exactly that).
+"""
+
+from __future__ import annotations
+
+import queue as _queue_mod
+import threading
+from typing import TYPE_CHECKING
+
+from repro.netsim.simulator import Simulator
+
+if TYPE_CHECKING:
+    from repro.net.ethernet import EthernetFrame
+    from repro.netsim.link import Link
+    from repro.netsim.node import Port
+
+_INF = float("inf")
+
+#: Boundary record kinds: single-frame transmits re-inject through
+#: ``Port.deliver``, coalesced bursts through ``Port.deliver_burst`` —
+#: preserving the entry point keeps receive-side batching identical.
+KIND_FRAME = 0
+KIND_BURST = 1
+
+#: How long a shard waits on a peer before declaring the mesh dead.
+#: Generous: a peer may legitimately spend this long inside one window.
+DEFAULT_SYNC_TIMEOUT_S = 600.0
+
+#: Sentinel a failing shard broadcasts so peers blocked in recv() fail
+#: fast instead of timing out.
+_ABORT = "__shard-abort__"
+
+
+class ShardSyncError(RuntimeError):
+    """A collective run lost synchronisation (peer failure or timeout)."""
+
+
+class PeerAborted(ShardSyncError):
+    """A peer shard signalled failure mid-collective."""
+
+
+# ---------------------------------------------------------------------------
+# Mesh transports
+# ---------------------------------------------------------------------------
+
+
+class ThreadMesh:
+    """All-to-all in-process mesh: one queue per directed shard pair.
+
+    Payloads cross by reference — safe because boundary records are
+    treated as immutable once flushed (frames are immutable on the
+    wire), and it keeps the thread backend free of serialisation cost.
+    """
+
+    def __init__(self, nshards: int, timeout_s: float = DEFAULT_SYNC_TIMEOUT_S) -> None:
+        if nshards < 2:
+            raise ValueError("a mesh needs at least two shards")
+        self.nshards = nshards
+        self.timeout_s = timeout_s
+        self._queues = {
+            (src, dst): _queue_mod.SimpleQueue()
+            for src in range(nshards)
+            for dst in range(nshards)
+            if src != dst
+        }
+
+    def endpoint(self, shard: int) -> "_ThreadEndpoint":
+        return _ThreadEndpoint(self, shard)
+
+
+class _ThreadEndpoint:
+    """One shard's view of a :class:`ThreadMesh`."""
+
+    def __init__(self, mesh: ThreadMesh, shard: int) -> None:
+        self._mesh = mesh
+        self.shard = shard
+
+    def send(self, peer: int, payload) -> None:
+        self._mesh._queues[(self.shard, peer)].put(payload)
+
+    def recv(self, peer: int):
+        try:
+            payload = self._mesh._queues[(peer, self.shard)].get(
+                timeout=self._mesh.timeout_s
+            )
+        except _queue_mod.Empty:
+            raise ShardSyncError(
+                f"shard {self.shard}: no message from peer {peer} within "
+                f"{self._mesh.timeout_s:.0f}s"
+            ) from None
+        if isinstance(payload, str) and payload == _ABORT:
+            raise PeerAborted(f"shard {self.shard}: peer {peer} aborted")
+        return payload
+
+    def abort(self) -> None:
+        for peer in range(self._mesh.nshards):
+            if peer != self.shard:
+                self._mesh._queues[(self.shard, peer)].put(_ABORT)
+
+
+class PipeEndpoint:
+    """Mesh endpoint over ``multiprocessing`` connections (fork backend).
+
+    *connections* maps peer shard -> a duplex ``Connection`` whose far
+    end lives in the peer's process (see :func:`make_pipe_mesh`).
+    Payloads are pickled; pickling a burst preserves intra-record frame
+    identity (the pickle memo), so repeated per-flow template frames
+    stay one object per burst and the receiving datapath still decodes
+    each template once.
+    """
+
+    def __init__(
+        self, shard: int, connections: dict, timeout_s: float = DEFAULT_SYNC_TIMEOUT_S
+    ) -> None:
+        self.shard = shard
+        self._connections = connections
+        self._timeout_s = timeout_s
+
+    def send(self, peer: int, payload) -> None:
+        self._connections[peer].send(payload)
+
+    def recv(self, peer: int):
+        connection = self._connections[peer]
+        if not connection.poll(self._timeout_s):
+            raise ShardSyncError(
+                f"shard {self.shard}: no message from peer {peer} within "
+                f"{self._timeout_s:.0f}s"
+            )
+        try:
+            payload = connection.recv()
+        except EOFError:
+            raise ShardSyncError(
+                f"shard {self.shard}: peer {peer} closed its pipe"
+            ) from None
+        if isinstance(payload, str) and payload == _ABORT:
+            raise PeerAborted(f"shard {self.shard}: peer {peer} aborted")
+        return payload
+
+    def abort(self) -> None:
+        for connection in self._connections.values():
+            try:
+                connection.send(_ABORT)
+            except (OSError, ValueError):
+                pass  # peer already gone; nothing left to warn
+
+
+def make_pipe_mesh(nshards: int) -> "list[dict]":
+    """Duplex pipes for every shard pair, created *before* forking.
+
+    Returns one ``{peer: Connection}`` map per shard; each worker keeps
+    its own map after fork and the parent closes every connection it
+    holds (see the fork backend) so peer death surfaces as EOF.
+    """
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    meshes: "list[dict]" = [dict() for _ in range(nshards)]
+    for a in range(nshards):
+        for b in range(a + 1, nshards):
+            end_a, end_b = context.Pipe(duplex=True)
+            meshes[a][b] = end_a
+            meshes[b][a] = end_b
+    return meshes
+
+
+# ---------------------------------------------------------------------------
+# The per-shard simulator
+# ---------------------------------------------------------------------------
+
+
+class ShardSimulator(Simulator):
+    """A :class:`Simulator` whose ``run()`` is a collective operation.
+
+    Every shard of a sharded simulation must call ``run()`` with the
+    same arguments at the same point of the protocol — the call blocks
+    on the window exchange until all peers arrive.  Because this *is*
+    the fabric's simulator, everything built on top (fleets, hosts,
+    stations) synchronises automatically: any internal
+    ``sim.run(until=now + x)`` becomes a collective windowed run.
+
+    With ``nshards == 1`` it degenerates to a plain simulator.
+    """
+
+    def __init__(
+        self,
+        shard: int = 0,
+        nshards: int = 1,
+        lookahead_s: "float | None" = None,
+        transport=None,
+    ) -> None:
+        super().__init__()
+        if nshards < 1 or not 0 <= shard < nshards:
+            raise ValueError(f"bad shard index {shard}/{nshards}")
+        if nshards > 1:
+            if lookahead_s is None or lookahead_s <= 0:
+                raise ValueError(
+                    "sharded simulation needs positive lookahead (min cut-link "
+                    "propagation delay)"
+                )
+            if transport is None:
+                raise ValueError("sharded simulation needs a mesh transport")
+        self.shard = shard
+        self.nshards = nshards
+        self.lookahead_s = lookahead_s
+        self.transport = transport
+        self._peers = tuple(peer for peer in range(nshards) if peer != shard)
+        self._outbound: "dict[int, list]" = {peer: [] for peer in self._peers}
+        self._ingress: "dict[int, Port]" = {}
+        self.sync_rounds = 0
+        self.frames_exported = 0
+        self.frames_imported = 0
+        #: Frames a *foreign* replica region tried to transmit across a
+        #: boundary — always 0 in a correct replica (foreign regions
+        #: receive no traffic); counted, not raised, so a violation
+        #: surfaces in stats()/tests instead of deadlocking the mesh.
+        self.shadow_drops = 0
+
+    # ----------------------------------------------- boundary plumbing
+
+    def register_ingress(self, boundary_id: int, port: "Port") -> None:
+        """Declare *port* (owned by this shard) as the landing point of
+        boundary *boundary_id* — where peer records are re-injected."""
+        self._ingress[boundary_id] = port
+
+    def export(self, peer: int, boundary_id: int, kind: int, arrivals: list) -> None:
+        """Buffer boundary records for *peer*; flushed at the next
+        window barrier (called by :class:`BoundaryLink`)."""
+        self._outbound[peer].append((boundary_id, kind, arrivals))
+        self.frames_exported += len(arrivals)
+
+    def _inject(self, records: list) -> None:
+        """Schedule a peer's flushed records as local delivery events.
+
+        Mirrors exactly what the severed :class:`~repro.netsim.link
+        .Link` would have scheduled locally: one ``deliver`` at the
+        frame's arrival, or one ``deliver_burst`` at the burst drain
+        with per-frame timestamps intact.  Record order is preserved,
+        so same-link FIFO survives the crossing.
+        """
+        for boundary_id, kind, arrivals in records:
+            port = self._ingress[boundary_id]
+            self.frames_imported += len(arrivals)
+            if kind == KIND_FRAME:
+                arrival, frame = arrivals[0]
+                self.schedule_at(arrival, lambda p=port, f=frame: p.deliver(f))
+            else:
+                self.schedule_at(
+                    arrivals[-1][0],
+                    lambda p=port, a=arrivals: p.deliver_burst(a),
+                )
+
+    # ------------------------------------------------- collective run
+
+    def run(
+        self,
+        until: "float | None" = None,
+        max_events: "int | None" = None,
+        inclusive: bool = True,
+    ) -> int:
+        if self.nshards == 1:
+            return super().run(until=until, max_events=max_events, inclusive=inclusive)
+        return self._collective_run(until, max_events)
+
+    def _collective_run(self, until: "float | None", max_events: "int | None") -> int:
+        window = self.lookahead_s
+        processed = 0
+        final_clock = None
+        failed = True
+        try:
+            while True:
+                overrun = max_events is not None and processed >= max_events
+
+                # Flush boundary records and advertise the earliest
+                # event this shard can still cause: its own queue head,
+                # or the earliest delivery among the records it is
+                # flushing right now (which peers haven't scheduled yet).
+                flush, self._outbound = self._outbound, {p: [] for p in self._peers}
+                advertised = _INF
+                for records in flush.values():
+                    for _, kind, arrivals in records:
+                        event_time = (
+                            arrivals[0][0] if kind == KIND_FRAME else arrivals[-1][0]
+                        )
+                        if event_time < advertised:
+                            advertised = event_time
+                local_next = self.peek_next_time()
+                if local_next is not None and local_next < advertised:
+                    advertised = local_next
+
+                for peer in self._peers:
+                    self.transport.send(
+                        peer, (flush[peer], advertised, self._now, overrun)
+                    )
+                global_next = advertised
+                global_clock = self._now
+                for peer in self._peers:
+                    records, peer_next, peer_clock, peer_overrun = (
+                        self.transport.recv(peer)
+                    )
+                    self._inject(records)
+                    if peer_next < global_next:
+                        global_next = peer_next
+                    if peer_clock > global_clock:
+                        global_clock = peer_clock
+                    overrun = overrun or peer_overrun
+                self.sync_rounds += 1
+
+                if overrun:
+                    # Every shard sees the flag this round and raises in
+                    # step — no peer is left blocking on a dead mesh.
+                    raise ShardSyncError(
+                        f"collective run exceeded max_events={max_events}"
+                    )
+                if global_next == _INF:
+                    # Globally idle.  Park every clock at the same spot.
+                    final_clock = until if until is not None else global_clock
+                    break
+                if until is not None and global_next > until:
+                    final_clock = until
+                    break
+
+                budget = None if max_events is None else max_events - processed
+                horizon = global_next + window
+                if until is not None and horizon > until:
+                    # Terminal stretch: every remaining event is ≤ until
+                    # < horizon, and anything it exports arrives at
+                    # ≥ global_next + lookahead = horizon > until — one
+                    # more round then sees global_next > until and exits.
+                    processed += super().run(until=until, max_events=budget)
+                else:
+                    processed += super().run(
+                        until=horizon, max_events=budget, inclusive=False
+                    )
+            failed = False
+        finally:
+            if failed:
+                # Wake peers blocked on this shard before propagating.
+                self.transport.abort()
+        if final_clock is not None and self._now < final_clock:
+            super().run(until=final_clock)
+        return processed
+
+    def sync_stats(self) -> dict:
+        return {
+            "shard": self.shard,
+            "now": self._now,
+            "events_processed": self._events_processed,
+            "pending_events": self.pending_events,
+            "sync_rounds": self.sync_rounds,
+            "frames_exported": self.frames_exported,
+            "frames_imported": self.frames_imported,
+            "shadow_drops": self.shadow_drops,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Boundary links
+# ---------------------------------------------------------------------------
+
+
+class BoundaryLink:
+    """Stand-in wired into one port of a severed cut link.
+
+    Each shard holds an identical replica of the full fabric; cut links
+    are severed by re-pointing both end ports here while keeping the
+    original :class:`~repro.netsim.link.Link` object for its direction
+    state and timing math:
+
+    * the **owned** endpoint (``exporting=True``) serialises outgoing
+      frames through ``Link._enqueue_frame`` / ``_enqueue_burst`` — so
+      tail-drop, ``queue_hwm``, busy-time chaining and per-frame
+      arrival floats are bit-identical to an unsevered link — schedules
+      the local queue-drain decrement, and exports the accepted
+      ``(arrival, frame)`` records to the peer shard instead of
+      delivering locally;
+    * the **foreign** endpoint (``exporting=False``) swallows traffic:
+      a correct replica's foreign region transmits nothing, and
+      ``ShardSimulator.shadow_drops`` counts any frame proving
+      otherwise.
+
+    Attribute reads fall through to the underlying link, so topology
+    code (``port.peer``, ``link.stats``) keeps working on severed ports.
+    """
+
+    def __init__(
+        self,
+        link: "Link",
+        sim: ShardSimulator,
+        boundary_id: int,
+        peer_shard: int,
+        exporting: bool,
+    ) -> None:
+        self._link = link
+        self._sim = sim
+        self._boundary_id = boundary_id
+        self._peer_shard = peer_shard
+        self._exporting = exporting
+
+    def __getattr__(self, name: str):
+        return getattr(self._link, name)
+
+    def transmit(self, from_port: "Port", frame: "EthernetFrame") -> bool:
+        if not self._exporting:
+            self._sim.shadow_drops += 1
+            return False
+        link = self._link
+        arrival = link._enqueue_frame(from_port, frame)
+        if arrival is None:
+            return False
+        direction = link._directions[id(from_port)]
+
+        def landed() -> None:
+            direction.queued -= 1
+
+        self._sim.schedule_at(arrival, landed)
+        self._sim.export(
+            self._peer_shard, self._boundary_id, KIND_FRAME, [(arrival, frame)]
+        )
+        return True
+
+    def transmit_burst(self, from_port: "Port", frames: "list[EthernetFrame]") -> int:
+        if not self._exporting:
+            self._sim.shadow_drops += len(frames)
+            return 0
+        link = self._link
+        accepted = link._enqueue_burst(from_port, frames)
+        if not accepted:
+            return 0
+        direction = link._directions[id(from_port)]
+
+        def landed() -> None:
+            direction.queued -= len(accepted)
+
+        self._sim.schedule_at(accepted[-1][0], landed)
+        self._sim.export(self._peer_shard, self._boundary_id, KIND_BURST, accepted)
+        return len(accepted)
+
+    def __repr__(self) -> str:
+        role = "export" if self._exporting else "shadow"
+        return f"BoundaryLink({self._link.name}, {role})"
+
+
+def sever_link(
+    link: "Link",
+    sim: ShardSimulator,
+    boundary_id: int,
+    peer_shard: int,
+    owned_port: "Port | None",
+) -> None:
+    """Replace both endpoints of *link* with boundary proxies.
+
+    *owned_port* is the endpoint this shard owns (its transmits are
+    exported to *peer_shard*; peer records land on it); pass ``None``
+    when neither endpoint is owned (a cut between two other shards —
+    both ends become shadow proxies).
+    """
+    for port in (link.port_a, link.port_b):
+        exporting = port is owned_port
+        port.link = BoundaryLink(
+            link, sim, boundary_id, peer_shard if exporting else -1, exporting
+        )
+    if owned_port is not None:
+        sim.register_ingress(boundary_id, owned_port)
+
+
+# ---------------------------------------------------------------------------
+# Facade
+# ---------------------------------------------------------------------------
+
+
+def run_collective(
+    sims: "list[ShardSimulator]",
+    until: "float | None" = None,
+    max_events: "int | None" = None,
+) -> "list[int]":
+    """Drive every shard's collective ``run()`` on its own thread.
+
+    Returns per-shard processed counts; re-raises the first shard
+    failure (peers unblock via the abort cascade, so joins terminate).
+    """
+    results: "list[int | None]" = [None] * len(sims)
+    errors: "list[BaseException | None]" = [None] * len(sims)
+
+    def drive(index: int, sim: ShardSimulator) -> None:
+        try:
+            results[index] = sim.run(until=until, max_events=max_events)
+        except BaseException as exc:  # noqa: BLE001 - propagated below
+            errors[index] = exc
+
+    threads = [
+        threading.Thread(
+            target=drive, args=(index, sim), name=f"shard-{index}", daemon=True
+        )
+        for index, sim in enumerate(sims)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for error in errors:
+        if error is not None and not isinstance(error, PeerAborted):
+            raise error
+    for error in errors:
+        if error is not None:
+            raise error
+    return [count for count in results if count is not None] or [0]
+
+
+class ShardedSimulator:
+    """N shard event loops behind the familiar simulator surface.
+
+    Exposes ``run()`` / ``schedule*()`` / ``pending_events`` /
+    ``run_until_idle()`` like a plain :class:`Simulator`, plus merged
+    per-shard :meth:`stats`.  Shards run on in-process threads (the
+    :class:`ThreadMesh` transport); for multi-core process workers see
+    the fork backend in :mod:`repro.fabric.partition`, which drives the
+    same :class:`ShardSimulator` protocol over pipes.
+
+    Scheduling targets a specific shard (default 0) — callbacks run
+    inside that shard's event loop and must only touch that shard's
+    objects.
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        lookahead_s: "float | None" = None,
+        timeout_s: float = DEFAULT_SYNC_TIMEOUT_S,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        mesh = ThreadMesh(shards, timeout_s=timeout_s) if shards > 1 else None
+        self.shards: "list[ShardSimulator]" = [
+            ShardSimulator(
+                shard=index,
+                nshards=shards,
+                lookahead_s=lookahead_s if shards > 1 else None,
+                transport=mesh.endpoint(index) if mesh is not None else None,
+            )
+            for index in range(shards)
+        ]
+
+    # ------------------------------------------------ simulator surface
+
+    @property
+    def now(self) -> float:
+        return max(sim.now for sim in self.shards)
+
+    @property
+    def pending_events(self) -> int:
+        return sum(sim.pending_events for sim in self.shards)
+
+    @property
+    def events_processed(self) -> int:
+        return sum(sim.events_processed for sim in self.shards)
+
+    def schedule(self, delay: float, callback, shard: int = 0):
+        return self.shards[shard].schedule(delay, callback)
+
+    def schedule_at(self, time: float, callback, shard: int = 0):
+        return self.shards[shard].schedule_at(time, callback)
+
+    def schedule_many(self, items, shard: int = 0):
+        return self.shards[shard].schedule_many(items)
+
+    def run(
+        self, until: "float | None" = None, max_events: "int | None" = None
+    ) -> int:
+        if len(self.shards) == 1:
+            return self.shards[0].run(until=until, max_events=max_events)
+        return sum(run_collective(self.shards, until=until, max_events=max_events))
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> int:
+        processed = self.run(max_events=max_events)
+        if self.pending_events:
+            raise RuntimeError(
+                f"simulation did not go idle within {max_events} events"
+            )
+        return processed
+
+    # --------------------------------------------------------- insight
+
+    def stats(self) -> dict:
+        """Merged view plus the per-shard sync counters."""
+        per_shard = [sim.sync_stats() for sim in self.shards]
+        return {
+            "shards": len(self.shards),
+            "now": self.now,
+            "events_processed": self.events_processed,
+            "pending_events": self.pending_events,
+            "sync_rounds": max((row["sync_rounds"] for row in per_shard), default=0),
+            "frames_exported": sum(row["frames_exported"] for row in per_shard),
+            "shadow_drops": sum(row["shadow_drops"] for row in per_shard),
+            "per_shard": per_shard,
+        }
+
+
+__all__ = [
+    "BoundaryLink",
+    "DEFAULT_SYNC_TIMEOUT_S",
+    "KIND_BURST",
+    "KIND_FRAME",
+    "PeerAborted",
+    "PipeEndpoint",
+    "ShardSimulator",
+    "ShardSyncError",
+    "ShardedSimulator",
+    "ThreadMesh",
+    "make_pipe_mesh",
+    "run_collective",
+    "sever_link",
+]

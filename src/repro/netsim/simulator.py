@@ -15,8 +15,20 @@ order.  Two properties matter to the burst-mode pipeline built on top:
   corrupt it), which ``run_until_idle`` polls without scanning the
   heap.
 
+Cancellation is lazy (the heap skips dead entries when they surface),
+but not unboundedly so: cancel-heavy workloads — ping timers that are
+re-armed every probe, rollback paths — would otherwise grow the heap
+with garbage while ``pending_events`` correctly reads near zero.  A
+counter of cancelled-but-queued entries triggers an in-place compaction
+(filter + re-heapify) once garbage outnumbers live events, keeping the
+queue O(live) while preserving FIFO tie order (the ``seq`` field is a
+total order, so re-heapifying cannot reorder ties).
+
 ``run(until=...)`` advances the clock to the horizon even when the
 queue drains early, so back-to-back ``run`` calls see monotone time.
+``inclusive=False`` stops *before* events at exactly ``until`` — the
+window mode the sharded engine (:mod:`repro.netsim.sharded`) uses to
+process half-open lookahead windows ``[start, horizon)``.
 """
 
 from __future__ import annotations
@@ -48,7 +60,9 @@ class Event:
         owner = self.owner
         if owner is not None:
             owner._pending -= 1
+            owner._cancelled += 1
             self.owner = None
+            owner._maybe_compact()
 
 
 class Simulator:
@@ -71,6 +85,11 @@ class Simulator:
         #: schedule/cancel/pop so ``pending_events`` is O(1) — it is
         #: polled inside ``run_until_idle`` and must not scan the heap.
         self._pending = 0
+        #: Cancelled events still sitting in the queue.  Cancellation is
+        #: lazy, so without compaction a schedule/cancel churn loop
+        #: (re-armed timers) grows the heap without bound while
+        #: ``pending_events`` correctly reads 0.
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -84,6 +103,32 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         return self._pending
+
+    def _maybe_compact(self) -> None:
+        """Drop cancelled entries once they outnumber live ones.
+
+        Bounds the heap at O(live events) under cancel-heavy churn.
+        Safe to trigger from inside a running callback: the run loop
+        re-reads ``self._queue`` on every iteration, and re-heapifying
+        preserves FIFO ties because ``(time, seq)`` is a total order.
+        """
+        if self._cancelled <= 64 or self._cancelled * 2 <= len(self._queue):
+            return
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+
+    def peek_next_time(self) -> "float | None":
+        """Timestamp of the next live event, or None when idle.
+
+        Purges cancelled entries off the top as a side effect (the same
+        lazy deletion the run loop performs).
+        """
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+            self._cancelled -= 1
+        return queue[0].time if queue else None
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule *callback* to run *delay* seconds from now."""
@@ -128,11 +173,21 @@ class Simulator:
         return events
 
     def run(
-        self, until: "float | None" = None, max_events: "int | None" = None
+        self,
+        until: "float | None" = None,
+        max_events: "int | None" = None,
+        inclusive: bool = True,
     ) -> int:
         """Process events until the queue drains, *until* is reached, or
         *max_events* have run.  Returns the number of events processed.
+
+        With ``inclusive=False`` events at exactly *until* are left
+        queued (a half-open window ``[now, until)``); the clock still
+        advances to *until*.  Used by the sharded engine's lookahead
+        windows, where the window edge belongs to the next window.
         """
+        if not inclusive and until is None:
+            raise ValueError("inclusive=False needs an explicit horizon")
         if self._running:
             raise RuntimeError("simulator is already running (re-entrant run())")
         self._running = True
@@ -144,8 +199,11 @@ class Simulator:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    self._cancelled -= 1
                     continue
-                if until is not None and event.time > until:
+                if until is not None and (
+                    event.time > until if inclusive else event.time >= until
+                ):
                     break
                 heapq.heappop(self._queue)
                 self._pending -= 1

@@ -393,3 +393,92 @@ class TestCapture:
         text = capture.format_trace()
         assert "capture t" in text
         assert "tx" in text
+
+
+class TestCancellationAccounting:
+    """Satellite: the O(1) pending_events counter vs cancel/reschedule
+    churn — and the heap compaction that keeps lazy deletion bounded."""
+
+    def test_cancel_then_reschedule_same_timestamp(self):
+        sim = Simulator()
+        fired = []
+        stale = sim.schedule_at(1.0, lambda: fired.append("stale"))
+        stale.cancel()
+        assert sim.pending_events == 0
+        sim.schedule_at(1.0, lambda: fired.append("fresh"))
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == ["fresh"]
+        assert sim.pending_events == 0
+
+    def test_repeated_rearm_counter_stays_exact(self):
+        # A re-armed timeout: cancel + reschedule at the same deadline,
+        # many times over.  The counter must track live events exactly.
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_at(5.0, lambda: fired.append("boom"))
+        for _ in range(1000):
+            event.cancel()
+            assert sim.pending_events == 0
+            event = sim.schedule_at(5.0, lambda: fired.append("boom"))
+            assert sim.pending_events == 1
+        sim.run()
+        assert fired == ["boom"]
+
+    def test_double_cancel_does_not_double_decrement(self):
+        sim = Simulator()
+        keeper = sim.schedule_at(1.0, lambda: None)
+        victim = sim.schedule_at(1.0, lambda: None)
+        victim.cancel()
+        victim.cancel()
+        assert sim.pending_events == 1
+        keeper.cancel()
+        assert sim.pending_events == 0
+
+    def test_compaction_bounds_heap_garbage(self):
+        # Without compaction 10k cancel cycles leave 10k dead entries
+        # in the heap while pending_events correctly reads ~0.
+        sim = Simulator()
+        for _ in range(10_000):
+            sim.schedule_at(1.0, lambda: None).cancel()
+        assert sim.pending_events == 0
+        assert len(sim._queue) <= 256
+
+    def test_compaction_preserves_fifo_ties(self):
+        sim = Simulator()
+        order = []
+        keepers = []
+        for index in range(50):
+            keepers.append(
+                sim.schedule_at(1.0, lambda i=index: order.append(i))
+            )
+            # Interleave garbage so a compaction definitely triggers.
+            for _ in range(10):
+                sim.schedule_at(1.0, lambda: order.append("dead")).cancel()
+        sim.run()
+        assert order == list(range(50))
+
+    def test_peek_next_time_skips_cancelled(self):
+        sim = Simulator()
+        assert sim.peek_next_time() is None
+        early = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        assert sim.peek_next_time() == 1.0
+        early.cancel()
+        assert sim.peek_next_time() == 2.0
+
+    def test_exclusive_horizon_leaves_edge_event_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append("in"))
+        sim.schedule_at(2.0, lambda: fired.append("edge"))
+        sim.run(until=2.0, inclusive=False)
+        assert fired == ["in"]
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+        sim.run(until=2.0)  # inclusive picks the edge event up
+        assert fired == ["in", "edge"]
+
+    def test_exclusive_needs_horizon(self):
+        with pytest.raises(ValueError):
+            Simulator().run(inclusive=False)

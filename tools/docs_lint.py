@@ -6,6 +6,10 @@ repository targets a file or directory that does not exist.  External
 links (http/https/mailto) and pure in-page anchors are skipped;
 ``path#anchor`` links are checked for the path part only.
 
+Also checks the README's repo-layout table: every backticked path in a
+table row (any token containing a ``/``) must exist in the repository,
+so the table cannot drift as modules are added or renamed.
+
 Run from the repository root (CI does)::
 
     python tools/docs_lint.py
@@ -63,11 +67,39 @@ def check_file(path: pathlib.Path) -> "list[str]":
     return problems
 
 
+#: Backticked tokens inside markdown table rows.
+TABLE_CODE_RE = re.compile(r"`([^`]+)`")
+
+
+def check_repo_layout(readme: pathlib.Path) -> "list[str]":
+    """Every backticked path in a README table row must exist.
+
+    Only tokens containing ``/`` are treated as paths (plain file names
+    like ``bench_cost.py`` and glob-ish shorthands are left alone).
+    """
+    problems = []
+    for line in readme.read_text(encoding="utf-8").splitlines():
+        if not line.lstrip().startswith("|"):
+            continue
+        for token in TABLE_CODE_RE.findall(line):
+            if "/" not in token or any(ch in token for ch in "{*<| "):
+                continue
+            if not (REPO_ROOT / token.rstrip("/")).exists():
+                problems.append(
+                    f"{readme.relative_to(REPO_ROOT)}: "
+                    f"layout table names missing path: {token}"
+                )
+    return problems
+
+
 def main() -> int:
     files = list(iter_markdown_files())
     problems = []
     for path in files:
         problems.extend(check_file(path))
+    readme = REPO_ROOT / "README.md"
+    if readme.exists():
+        problems.extend(check_repo_layout(readme))
     print(f"docs-lint: checked {len(files)} markdown file(s)")
     if problems:
         for problem in problems:
