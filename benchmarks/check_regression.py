@@ -17,15 +17,24 @@ Comparison rules:
   compared absolutely: current below baseline by more than 0.10 fails.
 * **speedup metrics** (ratios of two pps numbers measured on the same
   machine) are compared directly against ``1 - threshold``.
+* **convergence_s / frames_lost metrics** (bench_resilience) are pure
+  simulated time, deterministic on every machine, and lower is better:
+  convergence regressing past ``1 + threshold`` of the baseline (plus
+  one sweep window of slack) fails, and frames_lost may not exceed the
+  baseline by more than ``max(2, threshold * baseline)`` probes.
 
 Metrics present only on one side are reported and skipped, so full-mode
 local runs can be checked against smoke-mode baselines on their common
-rows.
+rows.  A *results file* with no committed baseline at all, however,
+fails the gate loudly: a freshly added bench artefact must land with
+its baseline (``--update`` creates it), otherwise the gate would
+silently never cover it.
 
 Refresh the baselines after an intentional perf change with::
 
     PYTHONPATH=src python benchmarks/bench_fastpath.py --fast
     PYTHONPATH=src python benchmarks/bench_churn.py --fast
+    PYTHONPATH=src python benchmarks/bench_resilience.py --fast
     python benchmarks/check_regression.py --update
 
 and commit the updated ``benchmarks/baselines/*.json``.
@@ -45,10 +54,16 @@ RESULTS_DIR = BENCH_DIR / "results"
 #: Keys that identify a row (workload shape), not measurements.
 IDENTITY_KEYS = (
     "bench", "config", "kind", "policy", "flows", "masked_entries", "burst",
-    "edges", "shards",
+    "edges", "shards", "topology", "event",
 )
 #: Absolute tolerance for hit-rate metrics (fractions in [0, 1]).
 HIT_RATE_TOLERANCE = 0.10
+#: Slack added to convergence comparisons: one reachability-sweep
+#: window, so a row that converges one sweep later than a tiny baseline
+#: does not trip the relative threshold on quantisation alone.
+CONVERGENCE_SLACK_S = 0.25
+#: Minimum absolute headroom for frames_lost (counts, often small).
+FRAMES_LOST_MIN_SLACK = 2
 
 
 def extract_metrics(node, label="", out=None):
@@ -73,7 +88,8 @@ def extract_metrics(node, label="", out=None):
             if isinstance(value, (dict, list)):
                 extract_metrics(value, f"{prefix}/{key}", out)
             elif isinstance(value, (int, float)) and (
-                key in ("pps", "hit_rate") or key.startswith("speedup")
+                key in ("pps", "hit_rate", "convergence_s", "frames_lost")
+                or key.startswith("speedup")
             ):
                 out[f"{prefix}:{key}"] = float(value)
     elif isinstance(node, list):
@@ -116,6 +132,33 @@ def compare(name, baseline, current, threshold):
                 )
             lines.append(
                 f"   {verdict:>10} {label} x{normalised:.2f} (normalised)"
+            )
+        elif label.endswith(":convergence_s"):
+            limit = base[label] * (1.0 + threshold) + CONVERGENCE_SLACK_S
+            verdict = "ok"
+            if cur[label] > limit:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: {label} slowed "
+                    f"{base[label]:.3f}s -> {cur[label]:.3f}s "
+                    f"(limit {limit:.3f}s)"
+                )
+            lines.append(
+                f"   {verdict:>10} {label} {base[label]:.3f}s -> {cur[label]:.3f}s"
+            )
+        elif label.endswith(":frames_lost"):
+            limit = base[label] + max(
+                FRAMES_LOST_MIN_SLACK, threshold * base[label]
+            )
+            verdict = "ok"
+            if cur[label] > limit:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name}: {label} rose {base[label]:.0f} -> {cur[label]:.0f} "
+                    f"(limit {limit:.0f})"
+                )
+            lines.append(
+                f"   {verdict:>10} {label} {base[label]:.0f} -> {cur[label]:.0f}"
             )
         elif label.endswith(":hit_rate"):
             delta = cur[label] - base[label]
@@ -184,6 +227,18 @@ def main(argv=None):
 
     all_failures = []
     report = []
+    # A fresh result with no committed baseline is a gate hole, not a
+    # skip: fail loudly so new benches land with their baselines.
+    baseline_names = {path.name for path in baseline_files}
+    for result_path in sorted(args.results.glob("*.json")):
+        if result_path.name == "regression.json":
+            continue
+        if result_path.name not in baseline_names:
+            all_failures.append(
+                f"{result_path.name}: results present but no baseline at "
+                f"{args.baselines / result_path.name} — run "
+                "check_regression.py --update and commit it"
+            )
     for baseline_path in baseline_files:
         result_path = args.results / baseline_path.name
         if not result_path.exists():

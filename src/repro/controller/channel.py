@@ -34,13 +34,33 @@ class ControllerChannel:
         self.to_controller_handler: "Optional[Callable[[bytes], None]]" = None
         self.messages_to_switch = 0
         self.messages_to_controller = 0
+        #: False while the management network is unreachable: both
+        #: directions black-hole (TCP would eventually reset; the
+        #: simplification is a silently lossy pipe with counters).
+        self.up = True
+        self.dropped_to_switch = 0
+        self.dropped_to_controller = 0
         switch.to_controller = self._from_switch_async
+
+    def set_down(self) -> None:
+        """Fail the channel: every message in either direction is lost,
+        including ones already in flight when the failure hits."""
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
 
     def send_to_switch(self, raw: bytes) -> None:
         """Controller -> switch; switch replies return automatically."""
+        if not self.up:
+            self.dropped_to_switch += 1
+            return
         self.messages_to_switch += 1
 
         def deliver() -> None:
+            if not self.up:
+                self.dropped_to_switch += 1
+                return
             for response in self.switch.handle_message(raw):
                 self._from_switch_async(response)
 
@@ -48,9 +68,15 @@ class ControllerChannel:
 
     def _from_switch_async(self, raw: bytes) -> None:
         """Switch -> controller (async messages and replies)."""
+        if not self.up:
+            self.dropped_to_controller += 1
+            return
         self.messages_to_controller += 1
 
         def deliver() -> None:
+            if not self.up:
+                self.dropped_to_controller += 1
+                return
             if self.to_controller_handler is not None:
                 self.to_controller_handler(raw)
 

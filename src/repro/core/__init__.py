@@ -25,6 +25,7 @@ from repro.core.manager import (
     HarmlessFleet,
     HarmlessManager,
     ReachabilityReport,
+    ResilienceReport,
 )
 from repro.core.migration import (
     MigrationPlan,
@@ -48,6 +49,7 @@ __all__ = [
     "HarmlessFleet",
     "FleetWaveReport",
     "ReachabilityReport",
+    "ResilienceReport",
     "MigrationPlanner",
     "MigrationPlan",
     "MigrationStrategy",

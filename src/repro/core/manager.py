@@ -308,6 +308,48 @@ class ReachabilityReport:
 
 
 @dataclass
+class ResilienceReport:
+    """Convergence scoring for one injected fault (or its recovery).
+
+    Produced by :meth:`HarmlessFleet.await_reconvergence`: repeated
+    short reachability sweeps run until the first fully clean sweep,
+    so ``convergence_s`` is the simulated time from the measurement
+    start to the end of that sweep (granularity = one sweep window)
+    and ``probes_lost`` counts every failed probe pair along the way.
+    """
+
+    event: str
+    started_at: float
+    converged_at: "float | None"
+    sweeps: int
+    probes_lost: int
+    pairs_per_sweep: int
+
+    @property
+    def converged(self) -> bool:
+        return self.converged_at is not None
+
+    @property
+    def convergence_s(self) -> float:
+        """Time to the first clean sweep (inf when the deadline hit)."""
+        if self.converged_at is None:
+            return float("inf")
+        return self.converged_at - self.started_at
+
+    def describe(self) -> str:
+        if not self.converged:
+            return (
+                f"{self.event}: NOT converged after {self.sweeps} sweep(s), "
+                f"{self.probes_lost} probe(s) lost"
+            )
+        return (
+            f"{self.event}: reconverged in {self.convergence_s * 1e3:.1f} ms "
+            f"({self.sweeps} sweep(s), {self.probes_lost} probe(s) lost, "
+            f"{self.pairs_per_sweep} pairs/sweep)"
+        )
+
+
+@dataclass
 class FleetWaveReport:
     """One executed wave: what migrated and whether the fabric held."""
 
@@ -504,7 +546,10 @@ class HarmlessFleet:
         ]
 
     def verify_reachability(
-        self, hosts: "list | None" = None, sources: "list | None" = None
+        self,
+        hosts: "list | None" = None,
+        sources: "list | None" = None,
+        window_s: "float | None" = None,
     ) -> ReachabilityReport:
         """All-pairs ping sweep across the fabric's hosts.
 
@@ -517,7 +562,10 @@ class HarmlessFleet:
         *sources* restricts which hosts send probes (destinations stay
         *hosts*); a sharded fleet replica defaults it to the hosts it
         owns, so the ordered pairs swept across all shards partition
-        the full all-pairs set exactly once.
+        the full all-pairs set exactly once.  *window_s* overrides the
+        fleet-wide ``verify_window_s`` for this sweep — probes still
+        pending when a short window closes count as lost, which is the
+        conservative reading resilience scoring wants.
         """
         sim = self.fabric.sim
         hosts = list(hosts if hosts is not None else self.fabric.hosts)
@@ -530,7 +578,8 @@ class HarmlessFleet:
                 if src is dst:
                     continue
                 probes.append((src, dst, src.ping(dst.ip)))
-        sim.run(until=sim.now + self.verify_window_s)
+        window = self.verify_window_s if window_s is None else window_s
+        sim.run(until=sim.now + window)
         lost = [
             (src.name, dst.name)
             for src, dst, result in probes
@@ -538,6 +587,56 @@ class HarmlessFleet:
         ]
         return ReachabilityReport(
             pairs=len(probes), answered=len(probes) - len(lost), lost=lost
+        )
+
+    def await_reconvergence(
+        self,
+        event: str = "fault",
+        window_s: float = 0.25,
+        deadline_s: float = 10.0,
+        hosts: "list | None" = None,
+        sources: "list | None" = None,
+    ) -> ResilienceReport:
+        """Measure time-to-reconverge after a fault, by repeated sweeps.
+
+        Runs back-to-back reachability sweeps of *window_s* simulated
+        seconds each until the first sweep where every probe pair
+        answers, or until *deadline_s* of simulated time has elapsed.
+        The returned report's ``convergence_s`` is the time from this
+        call to the end of the first clean sweep (so the measurement
+        has sweep-window granularity and slightly over-reports — call
+        it right when the fault or its repair is injected), and
+        ``probes_lost`` totals the failed pairs of every sweep on the
+        way, a frames-lost proxy at probe granularity.
+
+        Deterministic: all timing is simulated time, so identical
+        scenarios score identically on any machine.
+        """
+        if window_s <= 0:
+            raise ValueError("sweep window must be positive")
+        sim = self.fabric.sim
+        started_at = sim.now
+        sweeps = 0
+        probes_lost = 0
+        pairs = 0
+        converged_at = None
+        while sim.now - started_at < deadline_s - 1e-12:
+            report = self.verify_reachability(
+                hosts=hosts, sources=sources, window_s=window_s
+            )
+            sweeps += 1
+            pairs = report.pairs
+            if report.ok:
+                converged_at = sim.now
+                break
+            probes_lost += len(report.lost)
+        return ResilienceReport(
+            event=event,
+            started_at=started_at,
+            converged_at=converged_at,
+            sweeps=sweeps,
+            probes_lost=probes_lost,
+            pairs_per_sweep=pairs,
         )
 
     def verify_deployments(self) -> "dict[str, list[str]]":

@@ -19,6 +19,7 @@ from repro.fabric.topology import (
     Fabric,
     FabricSite,
     campus_fabric,
+    enable_fabric_stp,
     leaf_spine_fabric,
     ring_fabric,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "FabricPartition",
     "ShardedFabric",
     "ShardedFleet",
+    "enable_fabric_stp",
     "leaf_spine_fabric",
     "ring_fabric",
     "campus_fabric",

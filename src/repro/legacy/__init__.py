@@ -14,6 +14,7 @@ from repro.legacy.config import (
     VlanDecl,
 )
 from repro.legacy.fdb import FdbEntry, ForwardingDatabase
+from repro.legacy.stp import PortRole, PortState, SpanningTree
 from repro.legacy.switch import LegacySwitch
 
 __all__ = [
@@ -24,4 +25,7 @@ __all__ = [
     "ForwardingDatabase",
     "FdbEntry",
     "LegacySwitch",
+    "SpanningTree",
+    "PortRole",
+    "PortState",
 ]

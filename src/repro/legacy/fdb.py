@@ -115,6 +115,20 @@ class ForwardingDatabase:
             del self._entries[key]
         return len(doomed)
 
+    def flush_dynamic(self) -> int:
+        """Drop every dynamic entry (topology change / switch restart).
+
+        Static entries are configuration, not learned state — they
+        survive, exactly as on a power-cycled real switch whose startup
+        config repopulates them.
+        """
+        doomed = [
+            key for key, entry in self._entries.items() if not entry.static
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
     def flush_vlan(self, vlan_id: int) -> int:
         """Drop all dynamic entries in *vlan_id*."""
         doomed = [

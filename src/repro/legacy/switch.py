@@ -24,6 +24,7 @@ from repro.netsim.node import Node, Port
 from repro.netsim.simulator import Simulator
 from repro.legacy.config import PortMode, RunningConfig
 from repro.legacy.fdb import ForwardingDatabase
+from repro.legacy.stp import STP_ETHERTYPE, STP_MULTICAST, PortState
 
 #: Store-and-forward lookup latency of typical GbE merchant silicon.
 DEFAULT_PROCESSING_DELAY_S = 4e-6
@@ -64,6 +65,12 @@ class LegacySwitch(Node):
         self.fdb = ForwardingDatabase(capacity=fdb_capacity, aging_s=self.config.fdb_aging_s)
         self.processing_delay_s = processing_delay_s
         self.counters = SwitchCounters()
+        #: Attached spanning-tree instance (see :mod:`repro.legacy.stp`);
+        #: None means no STP — the dataplane forwards unconditionally.
+        self.stp = None
+        #: False while crashed (see :meth:`power_off`): the dataplane
+        #: drops everything and the control plane is frozen.
+        self.running = True
         #: When a burst is in flight, egress frames collect here (per
         #: output port, in forwarding order) instead of being sent one
         #: link event each; see :meth:`receive_burst`.
@@ -75,6 +82,8 @@ class LegacySwitch(Node):
     # ------------------------------------------------------------ ingress
 
     def receive(self, port: Port, frame: EthernetFrame) -> None:
+        if not self.running:
+            return  # a crashed switch is a black hole
         self.counters.rx_frames += 1
         self.counters.per_port_rx[port.number] = (
             self.counters.per_port_rx.get(port.number, 0) + 1
@@ -83,6 +92,23 @@ class LegacySwitch(Node):
         if not port_config.enabled:
             self.counters.filtered_ingress += 1
             return
+
+        if self.stp is not None and self.stp.handles(port.number):
+            # BPDUs go to the control plane before any 802.1Q
+            # classification (they are untagged link-local frames).
+            if frame.dst == STP_MULTICAST and frame.ethertype == STP_ETHERTYPE:
+                self.stp.receive_bpdu(port.number, frame)
+                return
+            state = self.stp.port_state(port.number)
+            if state is not PortState.FORWARDING:
+                if state is PortState.LEARNING:
+                    learned = self._classify_ingress(port.number, frame)
+                    if learned is not None and learned[1].src.is_unicast:
+                        self.fdb.learn(
+                            learned[0], learned[1].src, port.number, self.sim.now
+                        )
+                self.counters.filtered_ingress += 1
+                return
 
         classified = self._classify_ingress(port.number, frame)
         if classified is None:
@@ -161,6 +187,8 @@ class LegacySwitch(Node):
     # ----------------------------------------------------------- egress
 
     def _forward(self, ingress_port: int, vlan_id: int, frame: EthernetFrame) -> None:
+        if not self.running:
+            return  # crashed while the frame sat in the lookup pipeline
         out_port = None
         if frame.dst.is_unicast:
             out_port = self.fdb.lookup(vlan_id, frame.dst, self.sim.now)
@@ -182,6 +210,8 @@ class LegacySwitch(Node):
         port_config = self.config.port(port_number)
         if not port_config.carries(vlan_id) or not port_config.enabled:
             return
+        if self.stp is not None and not self.stp.forwarding_allowed(port_number):
+            return  # blocked / still listening: the loop stays broken
         if port_config.mode is PortMode.ACCESS:
             out_frame = frame  # access egress is always untagged
         elif vlan_id == port_config.native_vlan:
@@ -221,7 +251,37 @@ class LegacySwitch(Node):
         self.port(port_number).up = False
         self.config.port(port_number).enabled = False
         self.fdb.flush_port(port_number)
+        if self.stp is not None:
+            self.stp.port_down(port_number)
 
     def link_up(self, port_number: int) -> None:
         self.port(port_number).up = True
         self.config.port(port_number).enabled = True
+        if self.stp is not None:
+            self.stp.port_up(port_number)
+
+    def power_off(self) -> None:
+        """Crash the switch: every frame vanishes until :meth:`power_on`.
+
+        Ports stay physically up (a hung supervisor, not pulled cables)
+        — neighbours detect the outage by silence, e.g. STP max-age.
+        """
+        if not self.running:
+            return
+        self.running = False
+        if self.stp is not None:
+            self.stp.stop()
+
+    def power_on(self) -> None:
+        """Restart after a crash: dynamic state is lost, config survives.
+
+        The dynamic FDB is empty (static entries are configuration and
+        come back with it) and the STP instance re-runs its election
+        from scratch, exactly like a power-cycled real bridge.
+        """
+        if self.running:
+            return
+        self.running = True
+        self.fdb.flush_dynamic()
+        if self.stp is not None:
+            self.stp.restart()

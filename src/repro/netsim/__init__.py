@@ -12,6 +12,7 @@ they come from a traffic generator or a host stack.
 """
 
 from repro.netsim.capture import Capture, CaptureEntry
+from repro.netsim.faults import FaultInjector
 from repro.netsim.host import Host, PingResult
 from repro.netsim.link import Link, LinkStats
 from repro.netsim.node import Node, Port
@@ -32,6 +33,7 @@ __all__ = [
     "Port",
     "Link",
     "LinkStats",
+    "FaultInjector",
     "Host",
     "PingResult",
     "Capture",

@@ -43,6 +43,11 @@ class _Direction:
         self.busy_until = 0.0
         self.queued = 0
         self.stats = LinkStats()
+        #: id(event) -> (delivery event, frames it carries).  Every
+        #: scheduled delivery registers here and removes itself when it
+        #: fires, so :meth:`Link.set_down` can cancel what is on the
+        #: wire.  Keyed by id because events are orderable-not-hashable.
+        self.in_flight: "dict[int, tuple[object, int]]" = {}
 
 
 class Link:
@@ -72,6 +77,9 @@ class Link:
         self.propagation_delay_s = propagation_delay_s
         self.queue_frames = queue_frames
         self.name = name or f"{port_a.name}<->{port_b.name}"
+        #: Physical state: a downed link refuses new frames and has
+        #: dropped whatever was queued or propagating when it failed.
+        self.up = True
         self._directions = {id(port_a): _Direction(), id(port_b): _Direction()}
         self.sim = port_a.node.sim
         if port_b.node.sim is not self.sim:
@@ -118,7 +126,7 @@ class Link:
         direction = self._directions[id(from_port)]
         now = self.sim.now
 
-        if direction.queued >= self.queue_frames:
+        if not self.up or direction.queued >= self.queue_frames:
             direction.stats.drops += 1
             return None
 
@@ -144,10 +152,12 @@ class Link:
         destination = self.other_end(from_port)
 
         def deliver() -> None:
+            direction.in_flight.pop(id(event), None)
             direction.queued -= 1
             destination.deliver(frame)
 
-        self.sim.schedule_at(arrival, deliver)
+        event = self.sim.schedule_at(arrival, deliver)
+        direction.in_flight[id(event)] = (event, 1)
         return True
 
     def transmit_burst(self, from_port: Port, frames: "list[EthernetFrame]") -> int:
@@ -170,10 +180,12 @@ class Link:
         destination = self.other_end(from_port)
 
         def deliver() -> None:
+            direction.in_flight.pop(id(event), None)
             direction.queued -= len(accepted)
             destination.deliver_burst(accepted)
 
-        self.sim.schedule_at(accepted[-1][0], deliver)
+        event = self.sim.schedule_at(accepted[-1][0], deliver)
+        direction.in_flight[id(event)] = (event, len(accepted))
         return len(accepted)
 
     def _enqueue_burst(
@@ -187,6 +199,9 @@ class Link:
         direction = self._directions[id(from_port)]
         now = self.sim.now
         stats = direction.stats
+        if not self.up:
+            stats.drops += len(frames)
+            return []
         prop = self.propagation_delay_s
         busy = direction.busy_until
         #: id(frame) -> (wire length, serialisation) — bursts repeat
@@ -218,6 +233,35 @@ class Link:
         if direction.queued > stats.queue_hwm:
             stats.queue_hwm = direction.queued
         return accepted
+
+    def set_down(self) -> None:
+        """Fail the link: everything queued or propagating is lost.
+
+        Pending delivery events are cancelled and counted as drops in
+        the transmitting direction's stats, queue occupancy resets, and
+        while down both :meth:`transmit` and :meth:`transmit_burst`
+        refuse frames (still counted as drops).  Idempotent.  The
+        ports' administrative state is untouched — callers that model a
+        detected failure (loss of light) pair this with
+        ``LegacySwitch.link_down`` on the attached switches; see
+        :mod:`repro.netsim.faults`.
+        """
+        if not self.up:
+            return
+        self.up = False
+        now = self.sim.now
+        for direction in self._directions.values():
+            for event, frames in direction.in_flight.values():
+                event.cancel()
+                direction.stats.drops += frames
+            direction.in_flight.clear()
+            direction.queued = 0
+            if direction.busy_until > now:
+                direction.busy_until = now
+
+    def set_up(self) -> None:
+        """Restore a failed link; the wire comes back idle and empty."""
+        self.up = True
 
     def utilization(self, from_port: Port, elapsed: float) -> float:
         """Fraction of *elapsed* the direction spent serialising frames."""

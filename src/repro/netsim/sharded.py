@@ -251,6 +251,15 @@ class ShardSimulator(Simulator):
         self._peers = tuple(peer for peer in range(nshards) if peer != shard)
         self._outbound: "dict[int, list]" = {peer: [] for peer in self._peers}
         self._ingress: "dict[int, Port]" = {}
+        #: Boundaries whose receiving end is failed: later-injected
+        #: records (frames transmitted before the failure, crossing at
+        #: a subsequent barrier) are discarded instead of delivered.
+        self._ingress_down: "set[int]" = set()
+        #: boundary_id -> {id(event): (event, frames)} — pending
+        #: imported deliveries, so a fault can drop what is mid-crossing.
+        self._ingress_pending: "dict[int, dict[int, tuple[object, int]]]" = {}
+        #: Imported frames discarded because their boundary was down.
+        self.boundary_drops = 0
         self.sync_rounds = 0
         self.frames_exported = 0
         self.frames_imported = 0
@@ -283,16 +292,53 @@ class ShardSimulator(Simulator):
         so same-link FIFO survives the crossing.
         """
         for boundary_id, kind, arrivals in records:
+            if boundary_id in self._ingress_down:
+                # Transmitted before the failure, crossed after it: the
+                # replica's local link would have cancelled these.
+                self.boundary_drops += len(arrivals)
+                continue
             port = self._ingress[boundary_id]
             self.frames_imported += len(arrivals)
             if kind == KIND_FRAME:
                 arrival, frame = arrivals[0]
-                self.schedule_at(arrival, lambda p=port, f=frame: p.deliver(f))
+                self._schedule_import(
+                    boundary_id, arrival, 1, lambda p=port, f=frame: p.deliver(f)
+                )
             else:
-                self.schedule_at(
+                self._schedule_import(
+                    boundary_id,
                     arrivals[-1][0],
+                    len(arrivals),
                     lambda p=port, a=arrivals: p.deliver_burst(a),
                 )
+
+    def _schedule_import(
+        self, boundary_id: int, time: float, frames: int, callback
+    ) -> None:
+        """Schedule one imported delivery, tracked per boundary so
+        :meth:`drop_ingress` can cancel what is still in flight."""
+        pending = self._ingress_pending.setdefault(boundary_id, {})
+
+        def deliver() -> None:
+            pending.pop(key, None)
+            callback()
+
+        event = self.schedule_at(time, deliver)
+        key = id(event)
+        pending[key] = (event, frames)
+
+    def drop_ingress(self, boundary_id: int) -> None:
+        """Fail the receiving end of a boundary: cancel pending imported
+        deliveries and discard records injected while down.  Mirrors
+        :meth:`repro.netsim.link.Link.set_down` cancelling in-flight
+        frames on an unsevered link (see :class:`BoundaryLink`)."""
+        self._ingress_down.add(boundary_id)
+        for event, frames in self._ingress_pending.pop(boundary_id, {}).values():
+            event.cancel()
+            self.boundary_drops += frames
+
+    def restore_ingress(self, boundary_id: int) -> None:
+        self._ingress_down.discard(boundary_id)
 
     # ------------------------------------------------- collective run
 
@@ -395,6 +441,7 @@ class ShardSimulator(Simulator):
             "frames_exported": self.frames_exported,
             "frames_imported": self.frames_imported,
             "shadow_drops": self.shadow_drops,
+            "boundary_drops": self.boundary_drops,
         }
 
 
@@ -455,9 +502,11 @@ class BoundaryLink:
         direction = link._directions[id(from_port)]
 
         def landed() -> None:
+            direction.in_flight.pop(id(event), None)
             direction.queued -= 1
 
-        self._sim.schedule_at(arrival, landed)
+        event = self._sim.schedule_at(arrival, landed)
+        direction.in_flight[id(event)] = (event, 1)
         self._sim.export(
             self._peer_shard, self._boundary_id, KIND_FRAME, [(arrival, frame)]
         )
@@ -474,11 +523,36 @@ class BoundaryLink:
         direction = link._directions[id(from_port)]
 
         def landed() -> None:
+            direction.in_flight.pop(id(event), None)
             direction.queued -= len(accepted)
 
-        self._sim.schedule_at(accepted[-1][0], landed)
+        event = self._sim.schedule_at(accepted[-1][0], landed)
+        direction.in_flight[id(event)] = (event, len(accepted))
         self._sim.export(self._peer_shard, self._boundary_id, KIND_BURST, accepted)
         return len(accepted)
+
+    def set_down(self) -> None:
+        """Fail the severed link on this replica.
+
+        The underlying :class:`~repro.netsim.link.Link` drops its
+        queued/in-flight accounting (bit-identical stats to the
+        unsevered link), and the owned endpoint additionally cancels
+        imported deliveries still pending locally plus any records a
+        peer flushes while the link is down — those frames were
+        transmitted before the failure and would have been cancelled
+        mid-wire by an unsevered link.  Every replica must apply the
+        same fault at the same time (SPMD, like all topology mutations),
+        and the hold time must be at least the sync lookahead so the
+        restore lands in a window after the last stale record.
+        """
+        self._link.set_down()
+        if self._exporting:
+            self._sim.drop_ingress(self._boundary_id)
+
+    def set_up(self) -> None:
+        self._link.set_up()
+        if self._exporting:
+            self._sim.restore_ingress(self._boundary_id)
 
     def __repr__(self) -> str:
         role = "export" if self._exporting else "shadow"

@@ -180,13 +180,26 @@ class BridgeMibAdapter:
     # --------------------------------------------- dot1qVlanStaticTable
 
     def _egress_ports(self, vlan_id: int) -> set[int]:
-        return set(self.switch.config.ports_in_vlan(vlan_id))
+        # Unlike config.ports_in_vlan (a dataplane question answered via
+        # PortVlanConfig.carries, which is False on admin-down ports),
+        # the static table wants configured membership: a downed port
+        # must not lose its VLANs to a read-modify-write cycle.
+        egress = set()
+        for number, config in self.switch.config.ports.items():
+            if config.mode is PortMode.ACCESS:
+                if config.pvid == vlan_id:
+                    egress.add(number)
+            elif vlan_id in config.allowed_vlans or vlan_id == config.native_vlan:
+                egress.add(number)
+        return egress
 
     def _untagged_ports(self, vlan_id: int) -> set[int]:
+        # Membership is *configuration*: admin-down ports keep their
+        # VLANs (otherwise the read-modify-write in _write_membership
+        # would silently strip a downed port back to the default VLAN
+        # whenever any other port's membership changes).
         untagged = set()
         for number, config in self.switch.config.ports.items():
-            if not config.enabled:
-                continue
             if config.mode is PortMode.ACCESS and config.pvid == vlan_id:
                 untagged.add(number)
             elif config.mode is PortMode.TRUNK and config.native_vlan == vlan_id:

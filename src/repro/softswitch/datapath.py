@@ -206,6 +206,24 @@ class SoftSwitch(Node):
             self._program = None
             self.program_invalidations += 1
 
+    def reset_pipeline(self) -> None:
+        """Power-cycle the forwarding state (switch crash/restart).
+
+        Flow tables and groups are rebuilt empty — even the table-miss
+        entry is gone until a controller reinstalls it, so every packet
+        drops on miss, exactly like a rebooted switch before its
+        handshake completes.  Both fast-path tiers are invalidated: the
+        microflow cache is flushed and any compiled program discarded,
+        since both memoise walks of tables that no longer exist.
+        Forwarding counters survive (they model an external observer,
+        not switch RAM).
+        """
+        self.tables = [FlowTable(table_id) for table_id in range(len(self.tables))]
+        self.groups = GroupTable()
+        if self.flow_cache is not None:
+            self.flow_cache.invalidate()
+        self._mark_program_stale()
+
     @property
     def program(self) -> "Optional[CompiledProgram]":
         """The currently-active specialized program, if any (read-only)."""

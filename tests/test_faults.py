@@ -1,0 +1,277 @@
+"""Fault-injection primitives: link loss, power cycles, channel loss.
+
+These are the building blocks the resilience suite and
+``benchmarks/bench_resilience.py`` compose: every primitive must lose
+exactly what a real failure loses (queued and in-flight frames, dynamic
+learned state, in-transit control messages) and nothing else, and must
+recover to a clean slate.
+"""
+
+import pytest
+
+from repro.apps import LearningSwitchApp
+from repro.controller import Controller
+from repro.legacy import LegacySwitch
+from repro.net import EthernetFrame, IPv4Address, MACAddress
+from repro.netsim import FaultInjector, Host, Link, Node, Simulator
+from repro.netsim.link import wire
+from repro.softswitch import SoftSwitch
+
+
+class Sink(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.count = 0
+
+    def receive(self, port, frame):
+        self.count += 1
+
+    def receive_burst(self, port, arrivals):
+        self.count += len(arrivals)
+
+
+def make_frame(tag=0):
+    # 86B payload -> 100B on the wire.
+    return EthernetFrame(
+        dst=MACAddress(2), src=MACAddress(10 + tag), ethertype=0x0800,
+        payload=b"z" * 86,
+    )
+
+
+def slow_pair(queue_frames=10):
+    """8 Mbit/s link: a 100-byte frame serialises in 100 us."""
+    sim = Simulator()
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    link = wire(
+        a, b,
+        bandwidth_bps=8_000_000,
+        propagation_delay_s=50e-6,
+        queue_frames=queue_frames,
+    )
+    return sim, a, b, link
+
+
+class TestLinkSetDown:
+    def test_in_flight_and_queued_frames_are_lost(self):
+        sim, a, b, link = slow_pair()
+        for tag in range(5):  # one serialising + four queued
+            assert a.port(1).send(make_frame(tag)) is True
+        sim.run(until=160e-6)  # first frame has landed (100us + 50us prop)
+        assert b.count == 1
+        link.set_down()
+        sim.run(until=0.1)
+        assert b.count == 1  # nothing else ever lands
+        stats = link.stats(a.port(1))
+        assert stats.frames == 5  # all five made it onto the wire...
+        assert stats.drops == 4  # ...but the failure ate the rest
+
+    def test_down_link_refuses_new_frames(self):
+        sim, a, b, link = slow_pair()
+        link.set_down()
+        assert a.port(1).send(make_frame()) is False
+        assert a.port(1).send_burst([make_frame(1), make_frame(2)]) == 0
+        sim.run(until=0.1)
+        assert b.count == 0
+        assert link.stats(a.port(1)).drops == 3
+
+    def test_burst_in_flight_lost_on_set_down(self):
+        sim, a, b, link = slow_pair(queue_frames=100)
+        a.port(1).send_burst([make_frame(t) for t in range(8)])
+        sim.run(until=100e-6)  # burst still serialising
+        link.set_down()
+        sim.run(until=0.1)
+        assert b.count == 0
+        assert link.stats(a.port(1)).drops == 8
+
+    def test_restore_carries_traffic_again(self):
+        sim, a, b, link = slow_pair()
+        link.set_down()
+        assert a.port(1).send(make_frame()) is False
+        link.set_up()
+        assert a.port(1).send(make_frame()) is True
+        sim.run(until=0.1)
+        assert b.count == 1
+
+    def test_queue_state_sane_across_flap_cycles(self):
+        """Repeated flaps never corrupt the queue accounting: occupancy
+        resets to empty on every failure, so a full window fits again
+        after each restore and the high-water mark never exceeds the
+        configured queue."""
+        sim, a, b, link = slow_pair(queue_frames=4)
+        for _ in range(5):
+            sent = [a.port(1).send(make_frame(t)) for t in range(6)]
+            assert sent.count(False) == 2  # tail-drop past the window
+            link.set_down()
+            link.set_up()
+        sent = [a.port(1).send(make_frame(t)) for t in range(4)]
+        assert all(sent)
+        sim.run(until=1.0)
+        assert b.count == 4  # only the post-restore window delivers
+        assert link.stats(a.port(1)).queue_hwm <= 4
+
+    def test_set_down_idempotent(self):
+        sim, a, b, link = slow_pair()
+        a.port(1).send(make_frame())
+        link.set_down()
+        drops = link.stats(a.port(1)).drops
+        link.set_down()
+        assert link.stats(a.port(1)).drops == drops
+
+
+class TestSwitchPowerCycle:
+    def build(self):
+        sim = Simulator()
+        switch = LegacySwitch(sim, "sw", num_ports=4, processing_delay_s=0.0)
+        hosts = []
+        for index in range(2):
+            host = Host(
+                sim,
+                f"h{index + 1}",
+                MACAddress(0x02_00_00_00_00_21 + index),
+                IPv4Address(f"10.9.0.{index + 1}"),
+            )
+            Link(host.port0, switch.port(index + 1))
+            hosts.append(host)
+        return sim, switch, hosts
+
+    def test_crashed_switch_black_holes(self):
+        sim, switch, (h1, h2) = self.build()
+        h1.ping(h2.ip)
+        sim.run(until=0.5)
+        assert len(h1.rtts()) == 1
+        switch.power_off()
+        h1.ping(h2.ip)
+        sim.run(until=2.0)
+        assert len(h1.rtts()) == 1  # second ping died in the switch
+
+    def test_restart_clears_dynamic_fdb_keeps_static(self):
+        sim, switch, (h1, h2) = self.build()
+        switch.fdb.add_static(1, MACAddress(0xBEEF), 3)
+        h1.ping(h2.ip)
+        sim.run(until=0.5)
+        assert switch.fdb.lookup(1, h1.mac, sim.now) == 1
+        switch.power_off()
+        switch.power_on()
+        assert switch.fdb.lookup(1, h1.mac, sim.now) is None
+        assert switch.fdb.lookup(1, MACAddress(0xBEEF), sim.now) == 3
+
+    def test_traffic_flows_after_restart(self):
+        sim, switch, (h1, h2) = self.build()
+        h1.ping(h2.ip)
+        sim.run(until=0.5)
+        switch.power_off()
+        sim.run(until=1.0)
+        switch.power_on()
+        h1.ping(h2.ip)
+        sim.run(until=4.0)  # allow an ARP retry round
+        assert len(h1.rtts()) >= 2
+
+    def test_injector_schedules_crash_and_restore(self):
+        sim, switch, _ = self.build()
+        injector = FaultInjector(sim)
+        injector.switch_crash(switch, at_s=0.1, hold_s=0.2)
+        sim.run(until=0.15)
+        assert not switch.running
+        sim.run(until=0.35)
+        assert switch.running
+        assert [entry[1] for entry in injector.log] == [
+            "switch crash: sw", "switch restart: sw",
+        ]
+
+
+class TestControllerChannelLoss:
+    def build(self):
+        sim = Simulator()
+        switch = SoftSwitch(sim, "ss", datapath_id=0x77)
+        hosts = []
+        for index in range(2):
+            host = Host(
+                sim,
+                f"h{index + 1}",
+                MACAddress(0x02_00_00_00_00_31 + index),
+                IPv4Address(f"10.8.0.{index + 1}"),
+            )
+            Link(host.port0, switch.add_port(index + 1))
+            hosts.append(host)
+        controller = Controller(sim)
+        app = controller.add_app(LearningSwitchApp())
+        datapath = controller.connect(switch)
+        sim.run(until=0.05)  # handshake + table-miss install
+        return sim, hosts, app, datapath
+
+    def test_packet_ins_black_holed_while_down(self):
+        sim, (h1, h2), app, datapath = self.build()
+        datapath.channel.set_down()
+        handled_before = app.packet_ins_handled
+        h1.ping(h2.ip)
+        sim.run(until=2.0)
+        assert app.packet_ins_handled == handled_before
+        assert datapath.channel.dropped_to_controller > 0
+        assert len(h1.rtts()) == 0
+
+    def test_in_flight_messages_lost_at_failure_instant(self):
+        sim, (h1, h2), app, datapath = self.build()
+        handled_before = app.packet_ins_handled
+        h1.ping(h2.ip)
+        # The ARP packet-in is inside the channel latency when the
+        # failure hits; it must die in transit, not be delivered.
+        sim.schedule(datapath.channel.latency_s / 2, datapath.channel.set_down)
+        sim.run(until=2.0)
+        assert app.packet_ins_handled == handled_before
+        assert datapath.channel.dropped_to_controller > 0
+
+    def test_recovers_cleanly_after_restore(self):
+        sim, (h1, h2), app, datapath = self.build()
+        datapath.channel.set_down()
+        h1.ping(h2.ip)
+        sim.run(until=2.5)
+        assert len(h1.rtts()) == 0
+        datapath.channel.set_up()
+        h1.ping(h2.ip)
+        sim.run(until=5.0)
+        assert len(h1.rtts()) == 1
+        assert app.packet_ins_handled > 0
+
+
+class TestInjectorLinkFaults:
+    def build_two_switches(self):
+        sim = Simulator()
+        left = LegacySwitch(sim, "left", num_ports=4, processing_delay_s=0.0)
+        right = LegacySwitch(sim, "right", num_ports=4, processing_delay_s=0.0)
+        trunk = Link(left.port(3), right.port(3), name="trunk")
+        h1 = Host(sim, "h1", MACAddress(0x41), IPv4Address("10.7.0.1"))
+        h2 = Host(sim, "h2", MACAddress(0x42), IPv4Address("10.7.0.2"))
+        Link(h1.port0, left.port(1))
+        Link(h2.port0, right.port(1))
+        return sim, left, right, trunk, h1, h2
+
+    def test_flap_notifies_switches_and_flushes_fdb(self):
+        sim, left, right, trunk, h1, h2 = self.build_two_switches()
+        h1.ping(h2.ip)
+        sim.run(until=0.5)
+        assert left.fdb.lookup(1, h2.mac, sim.now) == 3
+        injector = FaultInjector(sim)
+        injector.link_flap(trunk, at_s=0.6, hold_s=0.1)
+        sim.run(until=0.65)
+        assert not left.port(3).up and not right.port(3).up
+        assert left.fdb.lookup(1, h2.mac, sim.now) is None
+        sim.run(until=0.8)
+        assert left.port(3).up and right.port(3).up
+        h1.ping(h2.ip)
+        sim.run(until=4.0)
+        assert len(h1.rtts()) >= 2
+
+    def test_admin_blocked_port_not_resurrected_by_restore(self):
+        sim, left, right, trunk, h1, h2 = self.build_two_switches()
+        left.link_down(3)  # administratively blocked before the fault
+        injector = FaultInjector(sim)
+        injector.link_flap(trunk, at_s=0.01, hold_s=0.1)
+        sim.run(until=0.5)
+        assert not left.port(3).up  # admin block survives the restore
+        assert right.port(3).up
+
+    def test_flap_requires_positive_hold(self):
+        sim = Simulator()
+        injector = FaultInjector(sim)
+        with pytest.raises(ValueError):
+            injector.link_flap(object(), at_s=0.0, hold_s=0.0)

@@ -1,0 +1,193 @@
+"""Spanning tree on the legacy dataplane: election, blocking, failover.
+
+The ring fabric is the reason this exists — ``ring_fabric(stp=True)``
+runs with its closing link live, and 802.1D (not an administratively
+blocked port) keeps the loop broken.  These tests pin the properties
+the resilience suite leans on: deterministic election, exactly one
+blocked port per redundant link, loss-free reconvergence around a cut,
+and epoch-deduplicated topology-change flushes.
+"""
+
+from repro.legacy import LegacySwitch, PortRole, PortState, SpanningTree
+from repro.fabric import ring_fabric
+from repro.netsim import FaultInjector, Link, Simulator
+
+
+def settle(fabric, extra=0.5):
+    window = max(tree.settle_s() for tree in fabric.stp.values())
+    fabric.sim.run(until=fabric.sim.now + window + extra)
+
+
+def sweep(fabric, window_s=0.5):
+    """All-pairs ping sweep; returns the failed (src, dst) name pairs."""
+    sim = fabric.sim
+    probes = [
+        (src, dst, src.ping(dst.ip))
+        for src in fabric.hosts
+        for dst in fabric.hosts
+        if src is not dst
+    ]
+    sim.run(until=sim.now + window_s)
+    return [(src.name, dst.name) for src, dst, result in probes if result.lost]
+
+
+def trunk_port_states(fabric):
+    """(site, port, role, state) for every trunk port, sorted."""
+    rows = []
+    for link in fabric.trunk_links:
+        for port in (link.port_a, link.port_b):
+            tree = fabric.stp[port.node.name]
+            rows.append(
+                (
+                    port.node.name,
+                    port.number,
+                    tree.port_role(port.number).value,
+                    tree.port_state(port.number).value,
+                )
+            )
+    return sorted(rows)
+
+
+def forwarding_trunk(fabric):
+    """A trunk link that is actually carrying traffic (both ends forward)."""
+    for link in fabric.trunk_links:
+        if all(
+            fabric.stp[port.node.name].port_state(port.number)
+            is PortState.FORWARDING
+            for port in (link.port_a, link.port_b)
+        ):
+            return link
+    raise AssertionError("no fully forwarding trunk link")
+
+
+class TestRingConvergence:
+    def test_closing_link_is_live_not_admin_blocked(self):
+        fabric = ring_fabric(switches=4, hosts_per_switch=1, stp=True)
+        assert fabric.blocked_links == []
+        assert all(link.up for link in fabric.trunk_links)
+        # Without STP the builder must still break the loop by hand.
+        legacy = ring_fabric(switches=4, hosts_per_switch=1)
+        assert len(legacy.blocked_links) == 1
+
+    def test_exactly_one_blocked_port_and_all_pairs_reachable(self):
+        fabric = ring_fabric(switches=4, hosts_per_switch=1, stp=True)
+        settle(fabric)
+        states = trunk_port_states(fabric)
+        blocked = [row for row in states if row[3] != "forwarding"]
+        assert len(blocked) == 1, states
+        assert blocked[0][2] == "alternate"
+        assert len([row for row in states if row[2] == "root"]) == 3
+        assert sum(tree.is_root for tree in fabric.stp.values()) == 1
+        assert sweep(fabric) == []
+
+    def test_no_bpdu_storm_in_steady_state(self):
+        fabric = ring_fabric(switches=4, hosts_per_switch=1, stp=True)
+        settle(fabric)
+        before = sum(tree.bpdus_sent for tree in fabric.stp.values())
+        fabric.sim.run(until=fabric.sim.now + 1.0)
+        sent = sum(tree.bpdus_sent for tree in fabric.stp.values()) - before
+        # Steady state is one config BPDU per designated port per hello:
+        # 4 segments x 10 hellos/s.  Anything far above that is a storm.
+        assert sent <= 100, sent
+
+    def test_edge_ports_are_unmanaged(self):
+        fabric = ring_fabric(switches=4, hosts_per_switch=1, stp=True)
+        settle(fabric)
+        for site in fabric.sites.values():
+            tree = fabric.stp[site.name]
+            for number in site.host_ports:
+                assert not tree.handles(number)
+                assert tree.port_state(number) is None
+                assert tree.forwarding_allowed(number)
+
+
+class TestElectionDeterminism:
+    def test_identical_builds_elect_identically(self):
+        first = ring_fabric(switches=4, hosts_per_switch=1, stp=True)
+        settle(first)
+        second = ring_fabric(switches=4, hosts_per_switch=1, stp=True)
+        settle(second)
+        assert trunk_port_states(first) == trunk_port_states(second)
+        root_of = lambda fab: next(  # noqa: E731
+            name for name, tree in fab.stp.items() if tree.is_root
+        )
+        assert root_of(first) == root_of(second)
+
+    def triangle(self, priorities):
+        """Three switches in a triangle with explicit bridge priorities."""
+        sim = Simulator()
+        switches = [
+            LegacySwitch(sim, f"s{i}", num_ports=4, processing_delay_s=0.0)
+            for i in range(3)
+        ]
+        for i in range(3):
+            Link(switches[i].port(2), switches[(i + 1) % 3].port(1))
+        trees = [
+            SpanningTree(switch, ports=[1, 2], priority=priority)
+            for switch, priority in zip(switches, priorities)
+        ]
+        sim.run(until=trees[0].settle_s() + 0.5)
+        return sim, switches, trees
+
+    def test_explicit_priority_forces_the_root(self):
+        _, _, trees = self.triangle([0x8000, 0x8000, 0x1000])
+        assert [tree.is_root for tree in trees] == [False, False, True]
+        # Three links, three switches: exactly one redundant port blocks.
+        states = [
+            tree.port_state(n) for tree in trees for n in (1, 2)
+        ]
+        assert states.count(PortState.FORWARDING) == 5
+        roles = [tree.port_role(n) for tree in trees for n in (1, 2)]
+        assert roles.count(PortRole.ALTERNATE) == 1
+        # The root's own ports are all designated.
+        assert trees[2].port_role(1) is PortRole.DESIGNATED
+        assert trees[2].port_role(2) is PortRole.DESIGNATED
+
+
+class TestReconvergence:
+    def test_cut_reroutes_through_blocked_port_without_loss(self):
+        fabric = ring_fabric(switches=4, hosts_per_switch=1, stp=True)
+        settle(fabric)
+        assert sweep(fabric) == []
+        victim = forwarding_trunk(fabric)
+        injector = FaultInjector(fabric.sim)
+        injector.cut_link(victim, at_s=fabric.sim.now + 0.01)
+        settle(fabric)
+        # Every surviving trunk port forwards: no loop remains to block.
+        for link in fabric.trunk_links:
+            if link is victim:
+                continue
+            for port in (link.port_a, link.port_b):
+                tree = fabric.stp[port.node.name]
+                assert tree.port_state(port.number) is PortState.FORWARDING
+        assert sweep(fabric) == []  # zero permanent loss
+
+    def test_cut_mints_topology_change_and_flushes_fdbs(self):
+        fabric = ring_fabric(switches=4, hosts_per_switch=1, stp=True)
+        settle(fabric)
+        assert sweep(fabric) == []  # populate the FDBs
+        changes_before = sum(t.topology_changes for t in fabric.stp.values())
+        flushes_before = sum(t.tc_flushes for t in fabric.stp.values())
+        victim = forwarding_trunk(fabric)
+        injector = FaultInjector(fabric.sim)
+        injector.cut_link(victim, at_s=fabric.sim.now + 0.01)
+        settle(fabric)
+        trees = list(fabric.stp.values())
+        assert sum(t.topology_changes for t in trees) > changes_before
+        # The epoch spread: bridges that did not originate the change
+        # flushed on hearing it — and only once per epoch, not per BPDU.
+        assert sum(t.tc_flushes for t in trees) > flushes_before
+        hellos_since = 20  # far more BPDUs than epochs were minted
+        assert all(t.tc_flushes < hellos_since for t in trees)
+
+    def test_restart_relearns_the_tree(self):
+        fabric = ring_fabric(switches=4, hosts_per_switch=1, stp=True)
+        settle(fabric)
+        non_root = next(
+            tree for tree in fabric.stp.values() if not tree.is_root
+        )
+        non_root.restart()
+        assert non_root.is_root  # cold start: believes it is root...
+        settle(fabric)
+        assert not non_root.is_root  # ...until the real root's BPDUs land
+        assert sweep(fabric) == []
