@@ -27,13 +27,19 @@ Run standalone: ``PYTHONPATH=src python benchmarks/bench_fabric.py
 ``--shards N`` switches to the **sharded** suite instead: the fabric is
 partitioned at pod boundaries (:mod:`repro.fabric.partition`) and run
 as N parallel per-shard event loops in forked worker processes with
-conservative-lookahead sync.  Results land in a separate artefact
-(``results/fabric_sharded.json``, gated against
-``baselines/fabric_sharded.json``); in full mode the suite also runs
-``shards=1`` on the same fabric and reports ``speedup_vs_1shard``.
-Note the speedup is only meaningful on a multi-core machine — the
-sync protocol is the same regardless, so single-core CI still
-exercises the full code path, just without parallel gain.
+the v2 conservative-lookahead sync (skip-ahead rounds, coalesced
+boundary pickles, slimmed foreign replicas).  Results land in a
+separate artefact (``results/fabric_sharded.json``, gated against
+``baselines/fabric_sharded.json``).  Full mode runs the scaling sweep
+— every shard count in {1, 2, 4} up to N on every fabric size in
+``SHARDED_FULL_SIZES`` (64/128/256 edges) — and reports
+``speedup_vs_1shard`` per multi-shard row plus the v2 sync counters
+(rounds, skipped rounds, records/bytes exchanged, stubbed sites).
+``--edges E`` / ``--packets P`` pin a single configuration instead
+(the nightly 4-shard 128-edge smoke uses this).  Note the speedup is
+only meaningful on a multi-core machine — the sync protocol is the
+same regardless, so single-core CI still exercises the full code
+path, just without parallel gain.
 """
 
 import json
@@ -58,8 +64,10 @@ from common import MEASURE_REPEATS, RESULTS_DIR, save_result
 FULL_SIZES = {2: 12_000, 4: 12_000, 8: 12_000}
 SMOKE_SIZES = {2: 4_000, 4: 4_000}
 
-#: Sharded-suite sizes (the tentpole scale: 64+ switches).
-SHARDED_FULL_SIZES = {64: 96_000}
+#: Sharded-suite sizes (the tentpole scale: 64-256 switches).  Full
+#: mode sweeps every size x every shard count in {1, 2, 4} up to
+#: ``--shards``; packet counts are sized for the single-core CI runner.
+SHARDED_FULL_SIZES = {64: 24_000, 128: 24_000, 256: 24_000}
 SHARDED_SMOKE_SIZES = {16: 8_000, 24: 8_000}
 #: Destination pods each source pod targets in the sharded mix
 #: (all-pairs is quadratic at 64 pods; 8 peers saturates every trunk).
@@ -277,6 +285,24 @@ def make_sharded_build(edges: int):
     return build
 
 
+def sharded_panel(edges: int) -> "list[str]":
+    """Host names for the post-migration sanity sweep.
+
+    All-pairs reachability is quadratic in hosts and each ARP floods
+    the whole fabric, so the sweep probes a fixed panel of <= 8 hosts
+    instead: one edge per evenly spaced spine, which spreads the panel
+    across every shard cluster (clusters are contiguous spine-chain
+    arcs, and edge *s* homes onto spine *s*).
+    """
+    spines = sharded_spines(edges)
+    chosen = []
+    for index in range(8):
+        spine = 1 + round(index * (spines - 1) / 7)
+        if spine not in chosen:
+            chosen.append(spine)
+    return [f"edge{spine}-h1" for spine in chosen]
+
+
 def _staggered_singles(frames_with_pods, base_s: float):
     """One single-frame burst per entry, 2 us apart (no same-instant
     injections, so shard runs stay tie-free)."""
@@ -299,7 +325,7 @@ def run_one_sharded(edges: int, packets: int, shards: int) -> dict:
             queue_frames=1_000_000,
         )
         fleet.migrate_all(verify=False)
-        sweep = fleet.verify_reachability()
+        sweep = fleet.verify_reachability(host_names=sharded_panel(edges))
         assert sweep["ok"], f"edges={edges} shards={shards}: {sweep['lost'][:5]}"
 
         edge_names = [site.name for site in sharded.reference.edge_sites()]
@@ -314,10 +340,23 @@ def run_one_sharded(edges: int, packets: int, shards: int) -> dict:
 
         # Prime: announce every destination, then one frame per flow —
         # after this the measured run is pure data plane, as in the
-        # single-process suite.
+        # single-process suite.  Announcements are deduped per station
+        # MAC (all flows into a pod share it): each one floods the
+        # whole fabric, which dominates prime time at 256 edges.
         base = sharded.stats()["now"]
+        seen_macs = set()
+        unique_dst = [
+            flow
+            for flow in flows
+            if not (
+                flow.spec.dst_mac in seen_macs or seen_macs.add(flow.spec.dst_mac)
+            )
+        ]
         announcements = _staggered_singles(
-            [(flow.dst_pod, announcement_frame(flow.spec)) for flow in flows],
+            [
+                (flow.dst_pod, announcement_frame(flow.spec))
+                for flow in unique_dst
+            ],
             base + 1e-3,
         )
         for pod, bursts in announcements.items():
@@ -371,19 +410,29 @@ def run_one_sharded(edges: int, packets: int, shards: int) -> dict:
         "packets": injected_total // MEASURE_REPEATS,
         "pps": statistics.median(samples),
         "sync_rounds": stats["sync_rounds"],
+        "rounds_skipped": stats["rounds_skipped"],
         "frames_exported": stats["frames_exported"],
+        "records_exported": stats["records_exported"],
+        "bytes_exchanged": stats["bytes_exchanged"],
+        "stub_sites": stats["stub_sites"],
+        "stub_hosts": stats["stub_hosts"],
     }
 
 
-def run_sharded_suite(sizes: dict, shards: int, with_baseline_shard: bool):
+def run_sharded_suite(sizes: dict, shards: int, sweep_counts: bool):
     """One row per (edges, shard count).
 
-    *with_baseline_shard* also measures ``shards=1`` on the identical
-    fabric and annotates the N-shard row with ``speedup_vs_1shard``.
+    *sweep_counts* runs every shard count in {1, 2, 4} up to *shards*
+    on each fabric size (the scaling sweep) and annotates every
+    multi-shard row with ``speedup_vs_1shard``; otherwise only
+    *shards* itself is measured.
     """
     rows = []
     for edges, packets in sorted(sizes.items()):
-        counts = [1, shards] if with_baseline_shard and shards > 1 else [shards]
+        if sweep_counts:
+            counts = sorted({c for c in (1, 2, 4) if c < shards} | {shards})
+        else:
+            counts = [shards]
         baseline_pps = None
         for count in counts:
             row = run_one_sharded(edges, packets, count)
@@ -404,8 +453,9 @@ def render_sharded(rows: list, mode: str) -> str:
         f"mode: {mode}; burst {BURST_SIZE}, {FLOWS_PER_PAIR} flows/pod-pair, "
         f"<= {SHARDED_PEERS_PER_POD} peer pods/source, fork workers",
         "",
-        f"{'edges':>6} {'shards':>7} {'pkts':>7} {'pps':>12} "
-        f"{'sync rounds':>12} {'exported':>9} {'speedup':>8}",
+        f"{'edges':>6} {'shards':>7} {'pkts':>7} {'pps':>10} "
+        f"{'rounds':>7} {'skipped':>8} {'exported':>9} {'KiB xchg':>9} "
+        f"{'stubs':>6} {'speedup':>8}",
     ]
     for row in rows:
         speedup = (
@@ -415,8 +465,10 @@ def render_sharded(rows: list, mode: str) -> str:
         )
         lines.append(
             f"{row['edges']:>6} {row['shards']:>7} {row['packets']:>7} "
-            f"{row['pps']:>12.0f} {row['sync_rounds']:>12} "
-            f"{row['frames_exported']:>9} {speedup}"
+            f"{row['pps']:>10.0f} {row['sync_rounds']:>7} "
+            f"{row['rounds_skipped']:>8} {row['frames_exported']:>9} "
+            f"{row['bytes_exchanged'] / 1024:>9.0f} {row['stub_sites']:>6} "
+            f"{speedup}"
         )
     return "\n".join(lines)
 
@@ -442,17 +494,40 @@ def main(argv=None):
         default=None,
         metavar="N",
         help="run the sharded suite with N parallel shard workers "
-        "(writes results/fabric_sharded.json instead of fabric.json)",
+        "(writes results/fabric_sharded.json instead of fabric.json); "
+        "full mode sweeps every shard count in {1,2,4} up to N",
+    )
+    parser.add_argument(
+        "--edges",
+        type=int,
+        default=None,
+        metavar="E",
+        help="sharded suite only: run a single fabric size of E edge "
+        "switches instead of the mode's size table",
+    )
+    parser.add_argument(
+        "--packets",
+        type=int,
+        default=None,
+        metavar="P",
+        help="sharded suite only: frames per measured pass (default: "
+        "the mode's table value, or 8000 with --edges in smoke mode)",
     )
     args = parser.parse_args(argv)
     mode = "smoke" if args.fast else "full"
+    if args.shards is None and (args.edges or args.packets):
+        parser.error("--edges/--packets need --shards")
     if args.shards is not None:
         if args.shards < 1:
             parser.error("--shards must be >= 1")
-        sizes = SHARDED_SMOKE_SIZES if args.fast else SHARDED_FULL_SIZES
-        rows = run_sharded_suite(
-            sizes, args.shards, with_baseline_shard=not args.fast
-        )
+        if args.edges is not None:
+            packets = args.packets or (8_000 if args.fast else 24_000)
+            sizes = {args.edges: packets}
+        else:
+            sizes = dict(SHARDED_SMOKE_SIZES if args.fast else SHARDED_FULL_SIZES)
+            if args.packets is not None:
+                sizes = {edges: args.packets for edges in sizes}
+        rows = run_sharded_suite(sizes, args.shards, sweep_counts=not args.fast)
         save_result("fabric_sharded", render_sharded(rows, mode=mode))
         path = save_json_sharded(rows, mode=mode)
     else:

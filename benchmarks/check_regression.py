@@ -22,6 +22,14 @@ Comparison rules:
   convergence regressing past ``1 + threshold`` of the baseline (plus
   one sweep window of slack) fails, and frames_lost may not exceed the
   baseline by more than ``max(2, threshold * baseline)`` probes.
+* **sync-protocol counters** (bench_fabric ``--shards`` rows:
+  ``sync_rounds``, ``rounds_skipped``, ``records_exported``) are pure
+  functions of the workload — the sharded engine is bit-deterministic,
+  so any drift at all means the sync protocol changed behaviour.  They
+  are compared for exact equality, with the row's packet count folded
+  into the label so smoke and full runs of the same fabric never cross-
+  compare.  ``bytes_exchanged`` stays informational: it tracks pickle
+  framing, which may legitimately change without a protocol change.
 
 Metrics present only on one side are reported and skipped, so full-mode
 local runs can be checked against smoke-mode baselines on their common
@@ -34,6 +42,7 @@ Refresh the baselines after an intentional perf change with::
 
     PYTHONPATH=src python benchmarks/bench_fastpath.py --fast
     PYTHONPATH=src python benchmarks/bench_churn.py --fast
+    PYTHONPATH=src python benchmarks/bench_fabric.py --fast --shards 2
     PYTHONPATH=src python benchmarks/bench_resilience.py --fast
     python benchmarks/check_regression.py --update
 
@@ -56,6 +65,9 @@ IDENTITY_KEYS = (
     "bench", "config", "kind", "policy", "flows", "masked_entries", "burst",
     "edges", "shards", "topology", "event",
 )
+#: Sync-protocol counters from sharded-fabric rows: bit-deterministic
+#: for a given workload, gated by exact equality.
+DETERMINISTIC_KEYS = ("sync_rounds", "rounds_skipped", "records_exported")
 #: Absolute tolerance for hit-rate metrics (fractions in [0, 1]).
 HIT_RATE_TOLERANCE = 0.10
 #: Slack added to convergence comparisons: one reachability-sweep
@@ -92,6 +104,14 @@ def extract_metrics(node, label="", out=None):
                 or key.startswith("speedup")
             ):
                 out[f"{prefix}:{key}"] = float(value)
+            elif isinstance(value, (int, float)) and key in DETERMINISTIC_KEYS:
+                # Deterministic counters scale with the injected load,
+                # so the packet count joins the identity: a smoke row
+                # must never be equality-compared against a full row of
+                # the same fabric shape.
+                pkts = node.get("packets")
+                qualifier = f"/pkts={pkts}" if isinstance(pkts, int) else ""
+                out[f"{prefix}{qualifier}:{key}"] = float(value)
     elif isinstance(node, list):
         for item in node:
             extract_metrics(item, label, out)
@@ -159,6 +179,19 @@ def compare(name, baseline, current, threshold):
                 )
             lines.append(
                 f"   {verdict:>10} {label} {base[label]:.0f} -> {cur[label]:.0f}"
+            )
+        elif label.rsplit(":", 1)[-1] in DETERMINISTIC_KEYS:
+            verdict = "ok"
+            if cur[label] != base[label]:
+                verdict = "MISMATCH"
+                failures.append(
+                    f"{name}: {label} changed "
+                    f"{base[label]:.0f} -> {cur[label]:.0f} "
+                    "(deterministic sync counter; exact match required)"
+                )
+            lines.append(
+                f"   {verdict:>10} {label} "
+                f"{base[label]:.0f} -> {cur[label]:.0f}"
             )
         elif label.endswith(":hit_rate"):
             delta = cur[label] - base[label]

@@ -537,13 +537,28 @@ class HarmlessFleet:
     # --------------------------------------------------------- validation
 
     def _owned_hosts(self) -> list:
-        """Hosts on this fleet's owned sites (all hosts when unsharded)."""
-        return [
+        """Hosts on this fleet's owned sites (all hosts when unsharded).
+
+        Owned hosts must be real simulator hosts — a slimmed sharded
+        replica (:func:`repro.fabric.topology.slim_replica_build`)
+        stubs only *foreign* sites, so a stub here means the replica
+        was built with the wrong foreign set.  Foreign stubs are fine
+        as sweep *destinations* (probes cross the boundary and the
+        owning shard's real host answers); they just never source.
+        """
+        owned = [
             host
             for name, site in self.fabric.sites.items()
             if self.owned_sites is None or name in self.owned_sites
             for host in site.hosts
         ]
+        for host in owned:
+            if getattr(host, "is_stub", False):
+                raise HarmlessError(
+                    f"owned host {host.name} is a slimmed stub — the replica "
+                    f"was built with its own sites in the foreign set"
+                )
+        return owned
 
     def verify_reachability(
         self,

@@ -18,10 +18,13 @@ from repro.fabric.partition import (
 from repro.fabric.topology import (
     Fabric,
     FabricSite,
+    StubDriver,
+    StubHost,
     campus_fabric,
     enable_fabric_stp,
     leaf_spine_fabric,
     ring_fabric,
+    slim_replica_build,
 )
 
 __all__ = [
@@ -30,9 +33,12 @@ __all__ = [
     "FabricPartition",
     "ShardedFabric",
     "ShardedFleet",
+    "StubDriver",
+    "StubHost",
     "enable_fabric_stp",
     "leaf_spine_fabric",
     "ring_fabric",
     "campus_fabric",
     "partition_fabric",
+    "slim_replica_build",
 ]

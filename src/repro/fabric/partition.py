@@ -11,15 +11,20 @@ pieces:
   Clusters are assigned to shards contiguously, so the cut set is the
   small set of anchor-to-anchor trunks (spine chain, dist-to-core,
   ring section joints), never the fat edge-to-anchor bundles.
-* :class:`ShardWorker` — one shard's full replica.  Every worker
-  deterministically rebuilds the *identical* fabric on its own
-  :class:`~repro.netsim.sharded.ShardSimulator`, severs the cut trunks
-  into boundary proxies, and then drives only the sites it owns: its
-  fleet replica migrates only owned switches, its stations transmit
-  only from owned pods, its reachability probes source only from owned
-  hosts.  Foreign regions of the replica receive no traffic (the
-  fabrics are trees, so the cut separates them), they merely keep
-  names, port numbers and wave structure aligned across shards.
+* :class:`ShardWorker` — one shard's replica.  Every worker
+  deterministically rebuilds the *identical* fabric topology on its
+  own :class:`~repro.netsim.sharded.ShardSimulator`, severs the cut
+  trunks into boundary proxies, and then drives only the sites it
+  owns: its fleet replica migrates only owned switches, its stations
+  transmit only from owned pods, its reachability probes source only
+  from owned hosts.  Foreign regions of the replica receive no traffic
+  (the fabrics are trees, so the cut separates them), they merely keep
+  names, port numbers and wave structure aligned across shards — so by
+  default they are built *slimmed* (see
+  :func:`repro.fabric.topology.slim_replica_build`): real switches for
+  the identity-bearing geometry, stubs in place of the foreign hosts,
+  host links and management planes a worker provably never exercises.
+  ``slim=False`` on :class:`ShardedFabric` restores full replicas.
 * :class:`ShardedFabric` / :class:`ShardedFleet` — the user-facing
   facade: build once, choose ``backend="thread"`` (in-process, used by
   the differential tests) or ``backend="fork"`` (one process per
@@ -363,7 +368,10 @@ class ShardWorker:
         partition: FabricPartition,
         build: "Callable[[Simulator], Fabric]",
         transport=None,
+        slim: bool = True,
     ) -> None:
+        from repro.fabric.topology import slim_replica_build
+
         self.shard = shard
         self.partition = partition
         self.sim = ShardSimulator(
@@ -372,8 +380,13 @@ class ShardWorker:
             lookahead_s=partition.lookahead_s if partition.nshards > 1 else None,
             transport=transport,
         )
-        self.fabric = build(self.sim)
         self.owned = set(partition.owned_sites(shard))
+        foreign = frozenset(partition.assignment) - self.owned
+        if slim and partition.nshards > 1 and foreign:
+            with slim_replica_build(foreign):
+                self.fabric = build(self.sim)
+        else:
+            self.fabric = build(self.sim)
         for cut in partition.cuts:
             link = self.fabric.trunk_links[cut.index]
             if cut.shard_a == shard:
@@ -431,9 +444,29 @@ class ShardWorker:
             }
         return row
 
-    def reach_sweep(self) -> dict:
-        """Collective: sweep owned-source -> all-host pairs."""
-        report = self.fleet.verify_reachability()
+    def reach_sweep(
+        self,
+        window_s: "float | None" = None,
+        host_names: "list[str] | None" = None,
+    ) -> dict:
+        """Collective: sweep owned-source -> all-host pairs.
+
+        One sweep per call — convergence *loops* must live above the
+        broadcast (see :meth:`ShardedFleet.await_reconvergence`): a
+        per-worker retry loop would let shards with clean local sweeps
+        exit early and deadlock the collective behind them.
+
+        *host_names* restricts the sweep to a panel of hosts (sources
+        are the owned subset of the panel, destinations the whole
+        panel) — the probe-pair count on a big fabric is quadratic in
+        hosts, so resilience scoring picks a fixed panel instead of
+        sweeping every pair.
+        """
+        hosts = None
+        if host_names is not None:
+            wanted = set(host_names)
+            hosts = [host for host in self.fabric.hosts if host.name in wanted]
+        report = self.fleet.verify_reachability(hosts=hosts, window_s=window_s)
         return {
             "pairs": report.pairs,
             "answered": report.answered,
@@ -491,7 +524,10 @@ class ShardWorker:
         }
 
     def sim_stats(self) -> dict:
-        return self.sim.sync_stats()
+        stats = self.sim.sync_stats()
+        stats["stub_sites"] = self.fabric.stub_sites
+        stats["stub_hosts"] = self.fabric.stub_hosts
+        return stats
 
 
 # ---------------------------------------------------------------------------
@@ -514,6 +550,7 @@ class _ThreadBackend:
         partition: FabricPartition,
         build: "Callable[[Simulator], Fabric]",
         timeout_s: float = DEFAULT_SYNC_TIMEOUT_S,
+        slim: bool = True,
     ) -> None:
         mesh = (
             ThreadMesh(partition.nshards, timeout_s=timeout_s)
@@ -526,6 +563,7 @@ class _ThreadBackend:
                 partition,
                 build,
                 transport=mesh.endpoint(shard) if mesh is not None else None,
+                slim=slim,
             )
             for shard in range(partition.nshards)
         ]
@@ -587,6 +625,7 @@ class _ForkBackend:
         partition: FabricPartition,
         build: "Callable[[Simulator], Fabric]",
         timeout_s: float = DEFAULT_SYNC_TIMEOUT_S,
+        slim: bool = True,
     ) -> None:
         import multiprocessing
 
@@ -611,6 +650,7 @@ class _ForkBackend:
                     meshes[shard] if nshards > 1 else None,
                     child_conns[shard],
                     timeout_s,
+                    slim,
                 ),
                 name=f"shard-{shard}",
                 daemon=True,
@@ -678,6 +718,7 @@ def _fork_worker_main(
     mesh: "dict | None",
     command_conn,
     timeout_s: float,
+    slim: bool = True,
 ) -> None:
     """Entry point of a forked shard process: build, then serve commands."""
     import traceback
@@ -688,7 +729,9 @@ def _fork_worker_main(
             if mesh is not None
             else None
         )
-        worker = ShardWorker(shard, partition, build, transport=transport)
+        worker = ShardWorker(
+            shard, partition, build, transport=transport, slim=slim
+        )
     except BaseException:  # noqa: BLE001 - reported over the pipe
         command_conn.send(("err", traceback.format_exc()))
         return
@@ -745,8 +788,12 @@ class ShardedFabric:
     *build* is a deterministic ``sim -> Fabric`` callable (typically a
     lambda over one of the :mod:`repro.fabric.topology` builders); it
     runs once on a throwaway simulator to compute the partition (the
-    *reference* fabric, also used for topology queries) and once per
-    shard to create the replicas.
+    *reference* fabric, also used for topology queries — always a full,
+    unslimmed build) and once per shard to create the replicas.  With
+    *slim* (the default) each multi-shard replica stubs out the foreign
+    state it provably never exercises — see
+    :func:`repro.fabric.topology.slim_replica_build`; ``stats()``
+    reports the per-shard ``stub_sites`` / ``stub_hosts``.
 
     Use as a context manager — ``close()`` tears the backend down.
     """
@@ -757,14 +804,19 @@ class ShardedFabric:
         shards: int = 1,
         backend: str = "thread",
         timeout_s: float = DEFAULT_SYNC_TIMEOUT_S,
+        slim: bool = True,
     ) -> None:
         self.build = build
         self.reference = build(Simulator())
         self.partition = partition_fabric(self.reference, shards)
         if backend == "thread":
-            self.backend = _ThreadBackend(self.partition, build, timeout_s=timeout_s)
+            self.backend = _ThreadBackend(
+                self.partition, build, timeout_s=timeout_s, slim=slim
+            )
         elif backend == "fork":
-            self.backend = _ForkBackend(self.partition, build, timeout_s=timeout_s)
+            self.backend = _ForkBackend(
+                self.partition, build, timeout_s=timeout_s, slim=slim
+            )
         else:
             raise ValueError(f"unknown backend {backend!r} (thread|fork)")
 
@@ -817,6 +869,10 @@ class ShardedFabric:
 
     def stats(self) -> dict:
         per_shard = self.backend.broadcast("sim_stats")
+        drops_by_id: "dict[int, int]" = {}
+        for row in per_shard:
+            for boundary_id, frames in row["boundary_drops_by_id"].items():
+                drops_by_id[boundary_id] = drops_by_id.get(boundary_id, 0) + frames
         return {
             "shards": self.nshards,
             "backend": self.backend.name,
@@ -824,8 +880,15 @@ class ShardedFabric:
             "events_processed": sum(row["events_processed"] for row in per_shard),
             "pending_events": sum(row["pending_events"] for row in per_shard),
             "sync_rounds": max(row["sync_rounds"] for row in per_shard),
+            "rounds_skipped": max(row["rounds_skipped"] for row in per_shard),
             "frames_exported": sum(row["frames_exported"] for row in per_shard),
+            "records_exported": sum(row["records_exported"] for row in per_shard),
+            "bytes_exchanged": sum(row["bytes_sent"] for row in per_shard),
             "shadow_drops": sum(row["shadow_drops"] for row in per_shard),
+            "boundary_drops": sum(row["boundary_drops"] for row in per_shard),
+            "boundary_drops_by_id": dict(sorted(drops_by_id.items())),
+            "stub_sites": sum(row["stub_sites"] for row in per_shard),
+            "stub_hosts": sum(row["stub_hosts"] for row in per_shard),
             "per_shard": per_shard,
         }
 
@@ -882,8 +945,70 @@ class ShardedFleet:
                 )
         return self.reports
 
-    def verify_reachability(self) -> dict:
-        return _merge_reachability(self.sharded.backend.broadcast("reach_sweep"))
+    def verify_reachability(
+        self, host_names: "list[str] | None" = None
+    ) -> dict:
+        return _merge_reachability(
+            self.sharded.backend.broadcast("reach_sweep", None, host_names)
+        )
+
+    def await_reconvergence(
+        self,
+        event: str = "fault",
+        window_s: float = 0.25,
+        deadline_s: float = 10.0,
+        host_names: "list[str] | None" = None,
+    ):
+        """Sharded :meth:`repro.core.manager.HarmlessFleet
+        .await_reconvergence`: repeated collective sweeps until the
+        *merged* reachability is clean or *deadline_s* simulated time
+        has passed.
+
+        The convergence loop lives here, not in the workers: each
+        worker only sees its owned sources, so a per-worker loop would
+        let a locally clean shard exit its sweeps early while peers
+        keep sweeping — diverging the collective-call counts and
+        deadlocking the barrier.  One broadcast per sweep keeps every
+        shard in lockstep; loss is judged on the global merge.
+        """
+        from repro.core.manager import ResilienceReport
+
+        if window_s <= 0:
+            raise ValueError("sweep window must be positive")
+
+        def clock() -> float:
+            return max(
+                row["now"]
+                for row in self.sharded.backend.broadcast("sim_stats")
+            )
+
+        started_at = clock()
+        now = started_at
+        sweeps = 0
+        probes_lost = 0
+        pairs = 0
+        converged_at = None
+        while now - started_at < deadline_s - 1e-12:
+            merged = _merge_reachability(
+                self.sharded.backend.broadcast(
+                    "reach_sweep", window_s, host_names
+                )
+            )
+            sweeps += 1
+            pairs = merged["pairs"]
+            now = clock()
+            if merged["ok"]:
+                converged_at = now
+                break
+            probes_lost += len(merged["lost"])
+        return ResilienceReport(
+            event=event,
+            started_at=started_at,
+            converged_at=converged_at,
+            sweeps=sweeps,
+            probes_lost=probes_lost,
+            pairs_per_sweep=pairs,
+        )
 
 
 def _merge_reachability(rows: "list[dict]") -> dict:

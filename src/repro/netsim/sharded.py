@@ -11,11 +11,26 @@ event simulation:
 * **Lookahead** ``L`` is the minimum propagation delay over all
   boundary links.  A frame transmitted at local time ``t`` cannot
   arrive at a peer shard before ``t + L``.
-* **Windows.**  All shards repeatedly agree on the globally earliest
-  pending event time ``g`` (a one-round all-to-all exchange) and each
-  processes its local events in the half-open window ``[g, g + L)``.
-  Events inside one window cannot generate cross-shard arrivals inside
-  that same window, so no shard ever receives a frame from its past.
+* **Skip-ahead rounds (v2).**  Each barrier piggy-backs every shard's
+  true next-event time (own queue head, or the earliest arrival among
+  the records it is flushing right now).  A shard then runs up to the
+  asymmetric horizon ``min(peers_next, own_flushed_next) + L`` — the
+  earliest instant a *peer* could still cause an event here — instead
+  of a fixed ``global_next + L`` window.  Its own backlog does not
+  bound the horizon: it is drained in ``2L`` chunks that end early the
+  moment a chunk exports a boundary record (a response to an export at
+  ``x`` cannot arrive before ``x + 2L``, so the chunk end never
+  overtakes it).  Idle gaps — reconvergence waits, inter-burst
+  spacing, fault-plan quiet periods — therefore collapse into O(1)
+  rounds; ``rounds_skipped`` counts the lookahead-multiple barriers
+  the v1 loop would have paid.
+* **Coalesced boundary exchange (v2).**  All records destined for one
+  peer in one round travel as a single message — one length-prefixed
+  pickle per (peer, round) on the pipe transport, with a ``None``
+  fast token for empty rounds — so trunk-heavy mixes pay one pickle
+  per barrier, not per record, and idle barriers ship a few bytes.
+  ``bytes_sent`` / ``bytes_received`` on the pipe endpoints make the
+  exchange volume measurable.
 * **Boundary exchange.**  Frames crossing a severed link are serialised
   on the owning shard with the *exact* arithmetic of
   :meth:`repro.netsim.link.Link.transmit` /
@@ -25,10 +40,11 @@ event simulation:
   re-injected on the receiving shard as ordinary ``Port.deliver`` /
   ``Port.deliver_burst`` events — timestamps are preserved bit-for-bit.
 
-The window exchange piggy-backs each shard's clock and next-event time
-on the boundary records, so idle gaps are fast-forwarded (the window
-start jumps straight to the global next event) and every collective
-``run()`` call leaves all shard clocks at the same value.
+The barrier exchange also carries each shard's clock and cumulative
+processed-event count, so every collective ``run()`` call leaves all
+shard clocks at the same value and a ``max_events`` cap is enforced
+against the *global* count: all shards see the same sum at the same
+barrier and break in step (no abort cascade needed).
 
 Two transports implement the same mesh interface: an in-process
 :class:`ThreadMesh` (used by :class:`ShardedSimulator` and the tests —
@@ -40,14 +56,15 @@ records are pickled).
 
 What parallelises: everything whose events stay inside one shard —
 datapath batch processing, legacy bridging, controller channels, host
-stacks.  What doesn't: traffic crossing a cut link pays one pickle +
-pipe hop per window, and the window barrier itself is a full
+stacks.  What doesn't: traffic crossing a cut link pays its share of
+the per-round pickle, and the round barrier itself is a full
 synchronisation — so shard boundaries should cut *few, fat* burst
 flows (the PR 3 burst pipeline makes inter-pod traffic exactly that).
 """
 
 from __future__ import annotations
 
+import pickle
 import queue as _queue_mod
 import threading
 from typing import TYPE_CHECKING
@@ -148,10 +165,16 @@ class PipeEndpoint:
 
     *connections* maps peer shard -> a duplex ``Connection`` whose far
     end lives in the peer's process (see :func:`make_pipe_mesh`).
-    Payloads are pickled; pickling a burst preserves intra-record frame
-    identity (the pickle memo), so repeated per-flow template frames
-    stay one object per burst and the receiving datapath still decodes
-    each template once.
+
+    Each payload crosses as one explicit :func:`pickle.dumps` blob
+    (highest protocol) through ``send_bytes`` / ``recv_bytes`` — the
+    ``Connection`` framing length-prefixes it — so a whole (peer,
+    round) batch is a single pickle and the endpoint can meter the
+    exchange: ``bytes_sent`` / ``bytes_received`` count the serialised
+    payload volume for :meth:`ShardSimulator.sync_stats`.  Pickling a
+    burst preserves intra-record frame identity (the pickle memo), so
+    repeated per-flow template frames stay one object per burst and
+    the receiving datapath still decodes each template once.
     """
 
     def __init__(
@@ -160,9 +183,13 @@ class PipeEndpoint:
         self.shard = shard
         self._connections = connections
         self._timeout_s = timeout_s
+        self.bytes_sent = 0
+        self.bytes_received = 0
 
     def send(self, peer: int, payload) -> None:
-        self._connections[peer].send(payload)
+        blob = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+        self.bytes_sent += len(blob)
+        self._connections[peer].send_bytes(blob)
 
     def recv(self, peer: int):
         connection = self._connections[peer]
@@ -172,19 +199,22 @@ class PipeEndpoint:
                 f"{self._timeout_s:.0f}s"
             )
         try:
-            payload = connection.recv()
+            blob = connection.recv_bytes()
         except EOFError:
             raise ShardSyncError(
                 f"shard {self.shard}: peer {peer} closed its pipe"
             ) from None
+        self.bytes_received += len(blob)
+        payload = pickle.loads(blob)
         if isinstance(payload, str) and payload == _ABORT:
             raise PeerAborted(f"shard {self.shard}: peer {peer} aborted")
         return payload
 
     def abort(self) -> None:
+        blob = pickle.dumps(_ABORT, pickle.HIGHEST_PROTOCOL)
         for connection in self._connections.values():
             try:
-                connection.send(_ABORT)
+                connection.send_bytes(blob)
             except (OSError, ValueError):
                 pass  # peer already gone; nothing left to warn
 
@@ -260,9 +290,19 @@ class ShardSimulator(Simulator):
         self._ingress_pending: "dict[int, dict[int, tuple[object, int]]]" = {}
         #: Imported frames discarded because their boundary was down.
         self.boundary_drops = 0
+        #: Same drops attributed to the cut trunk that lost them, so a
+        #: sharded fault run can name the boundary a frame died on.
+        self.boundary_drops_by_id: "dict[int, int]" = {}
         self.sync_rounds = 0
+        #: Barriers the v1 fixed-window loop would have paid that the
+        #: skip-ahead horizon crossed in one round.
+        self.rounds_skipped = 0
         self.frames_exported = 0
         self.frames_imported = 0
+        #: Boundary records (frame/burst units, = pickled list entries)
+        #: handed to the transport; with ``sync_rounds`` this gives the
+        #: records-per-pickle coalescing ratio.
+        self.records_exported = 0
         #: Frames a *foreign* replica region tried to transmit across a
         #: boundary — always 0 in a correct replica (foreign regions
         #: receive no traffic); counted, not raised, so a violation
@@ -281,6 +321,7 @@ class ShardSimulator(Simulator):
         window barrier (called by :class:`BoundaryLink`)."""
         self._outbound[peer].append((boundary_id, kind, arrivals))
         self.frames_exported += len(arrivals)
+        self.records_exported += 1
 
     def _inject(self, records: list) -> None:
         """Schedule a peer's flushed records as local delivery events.
@@ -295,7 +336,7 @@ class ShardSimulator(Simulator):
             if boundary_id in self._ingress_down:
                 # Transmitted before the failure, crossed after it: the
                 # replica's local link would have cancelled these.
-                self.boundary_drops += len(arrivals)
+                self._count_boundary_drops(boundary_id, len(arrivals))
                 continue
             port = self._ingress[boundary_id]
             self.frames_imported += len(arrivals)
@@ -335,10 +376,16 @@ class ShardSimulator(Simulator):
         self._ingress_down.add(boundary_id)
         for event, frames in self._ingress_pending.pop(boundary_id, {}).values():
             event.cancel()
-            self.boundary_drops += frames
+            self._count_boundary_drops(boundary_id, frames)
 
     def restore_ingress(self, boundary_id: int) -> None:
         self._ingress_down.discard(boundary_id)
+
+    def _count_boundary_drops(self, boundary_id: int, frames: int) -> None:
+        self.boundary_drops += frames
+        self.boundary_drops_by_id[boundary_id] = (
+            self.boundary_drops_by_id.get(boundary_id, 0) + frames
+        )
 
     # ------------------------------------------------- collective run
 
@@ -359,49 +406,59 @@ class ShardSimulator(Simulator):
         failed = True
         try:
             while True:
-                overrun = max_events is not None and processed >= max_events
-
                 # Flush boundary records and advertise the earliest
                 # event this shard can still cause: its own queue head,
                 # or the earliest delivery among the records it is
                 # flushing right now (which peers haven't scheduled yet).
                 flush, self._outbound = self._outbound, {p: [] for p in self._peers}
-                advertised = _INF
+                flushed_min = _INF
                 for records in flush.values():
                     for _, kind, arrivals in records:
                         event_time = (
                             arrivals[0][0] if kind == KIND_FRAME else arrivals[-1][0]
                         )
-                        if event_time < advertised:
-                            advertised = event_time
+                        if event_time < flushed_min:
+                            flushed_min = event_time
                 local_next = self.peek_next_time()
+                advertised = flushed_min
                 if local_next is not None and local_next < advertised:
                     advertised = local_next
 
+                # One message per (peer, round): the record batch (None
+                # as the empty-round fast token), the advertisement, the
+                # clock, and the cumulative processed count that makes
+                # max_events a global property.
                 for peer in self._peers:
                     self.transport.send(
-                        peer, (flush[peer], advertised, self._now, overrun)
+                        peer, (flush[peer] or None, advertised, self._now, processed)
                     )
-                global_next = advertised
+                peers_min = _INF
                 global_clock = self._now
+                global_processed = processed
                 for peer in self._peers:
-                    records, peer_next, peer_clock, peer_overrun = (
+                    records, peer_next, peer_clock, peer_processed = (
                         self.transport.recv(peer)
                     )
-                    self._inject(records)
-                    if peer_next < global_next:
-                        global_next = peer_next
+                    if records:
+                        self._inject(records)
+                    if peer_next < peers_min:
+                        peers_min = peer_next
                     if peer_clock > global_clock:
                         global_clock = peer_clock
-                    overrun = overrun or peer_overrun
+                    global_processed += peer_processed
                 self.sync_rounds += 1
+                global_next = min(advertised, peers_min)
 
-                if overrun:
-                    # Every shard sees the flag this round and raises in
-                    # step — no peer is left blocking on a dead mesh.
-                    raise ShardSyncError(
-                        f"collective run exceeded max_events={max_events}"
-                    )
+                # All exit decisions below use only values every shard
+                # computed identically this round (global sums/minima),
+                # so the whole collective breaks at the same barrier.
+                if max_events is not None and global_processed >= max_events:
+                    # Best-effort clock equalisation: park at the global
+                    # maximum only where no pending event predates it.
+                    head = self.peek_next_time()
+                    if head is None or head >= global_clock:
+                        final_clock = global_clock
+                    break
                 if global_next == _INF:
                     # Globally idle.  Park every clock at the same spot.
                     final_clock = until if until is not None else global_clock
@@ -410,17 +467,53 @@ class ShardSimulator(Simulator):
                     final_clock = until
                     break
 
-                budget = None if max_events is None else max_events - processed
-                horizon = global_next + window
-                if until is not None and horizon > until:
-                    # Terminal stretch: every remaining event is ≤ until
-                    # < horizon, and anything it exports arrives at
-                    # ≥ global_next + lookahead = horizon > until — one
-                    # more round then sees global_next > until and exits.
-                    processed += super().run(until=until, max_events=budget)
-                else:
-                    processed += super().run(
-                        until=horizon, max_events=budget, inclusive=False
+                # Skip-ahead horizon: the earliest instant a *peer*
+                # could still cause an event here is (its advertised
+                # next event) + lookahead; records flushed *this*
+                # round can draw responses from flushed_min + L on.
+                # The shard's own backlog does not bound the horizon —
+                # it is drained in 2L chunks below.
+                hard_stop = min(peers_min, flushed_min) + window
+                budget = (
+                    None if max_events is None else max_events - global_processed
+                )
+                entry = self._now
+                while True:
+                    base = self.peek_next_time()
+                    if base is None or base >= hard_stop:
+                        break
+                    if until is not None and base > until:
+                        break
+                    # A response to a record exported at x >= base
+                    # arrives at x + 2L >= chunk end, so ending the
+                    # chunk on first export keeps the clock behind
+                    # anything a peer can throw back.
+                    chunk = base + 2.0 * window
+                    if chunk > hard_stop:
+                        chunk = hard_stop
+                    if until is not None and chunk > until:
+                        # Terminal stretch: remaining events are <=
+                        # until; exports land >= base + L and are
+                        # reconciled at the next barrier.
+                        count = super().run(until=until, max_events=budget)
+                    else:
+                        count = super().run(
+                            until=chunk, max_events=budget, inclusive=False
+                        )
+                    processed += count
+                    if budget is not None:
+                        budget -= count
+                        if budget <= 0:
+                            break
+                    if any(self._outbound.values()):
+                        break
+                    if until is not None and self._now >= until:
+                        break
+                # Windows a fixed-step engine would have barriered
+                # through this round, minus the one barrier v2 paid.
+                if window > 0 and self._now > entry + window:
+                    self.rounds_skipped += max(
+                        0, int((self._now - entry) / window) - 1
                     )
             failed = False
         finally:
@@ -428,7 +521,7 @@ class ShardSimulator(Simulator):
                 # Wake peers blocked on this shard before propagating.
                 self.transport.abort()
         if final_clock is not None and self._now < final_clock:
-            super().run(until=final_clock)
+            self.advance_to(final_clock)
         return processed
 
     def sync_stats(self) -> dict:
@@ -438,10 +531,17 @@ class ShardSimulator(Simulator):
             "events_processed": self._events_processed,
             "pending_events": self.pending_events,
             "sync_rounds": self.sync_rounds,
+            "rounds_skipped": self.rounds_skipped,
             "frames_exported": self.frames_exported,
             "frames_imported": self.frames_imported,
+            "records_exported": self.records_exported,
+            # 0 on by-reference transports (ThreadMesh) which never
+            # serialise; the pipe endpoints meter their pickles.
+            "bytes_sent": getattr(self.transport, "bytes_sent", 0),
+            "bytes_received": getattr(self.transport, "bytes_received", 0),
             "shadow_drops": self.shadow_drops,
             "boundary_drops": self.boundary_drops,
+            "boundary_drops_by_id": dict(self.boundary_drops_by_id),
         }
 
 
@@ -708,8 +808,14 @@ class ShardedSimulator:
             "events_processed": self.events_processed,
             "pending_events": self.pending_events,
             "sync_rounds": max((row["sync_rounds"] for row in per_shard), default=0),
+            "rounds_skipped": max(
+                (row["rounds_skipped"] for row in per_shard), default=0
+            ),
             "frames_exported": sum(row["frames_exported"] for row in per_shard),
+            "records_exported": sum(row["records_exported"] for row in per_shard),
+            "bytes_exchanged": sum(row["bytes_sent"] for row in per_shard),
             "shadow_drops": sum(row["shadow_drops"] for row in per_shard),
+            "boundary_drops": sum(row["boundary_drops"] for row in per_shard),
             "per_shard": per_shard,
         }
 

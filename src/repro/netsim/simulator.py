@@ -213,11 +213,32 @@ class Simulator:
                 processed += 1
                 self._events_processed += 1
             if until is not None and self._now < until:
-                # Advance the clock to the horizon even if the queue drained.
-                self._now = until
+                # Advance the clock to the horizon even if the queue
+                # drained — but not past work a max_events cap left
+                # behind inside the window.
+                head = self.peek_next_time()
+                if head is None or (head > until if inclusive else head >= until):
+                    self._now = until
         finally:
             self._running = False
         return processed
+
+    def advance_to(self, time: float) -> None:
+        """Jump the clock forward to *time* without processing events.
+
+        Only legal when no pending event lies before *time* — jumping
+        over live work would violate causality.  The sharded engine
+        uses this to equalise shard clocks at collective-exit points
+        (all shards park at the same global instant even when some
+        drained their queues earlier than others).
+        """
+        head = self.peek_next_time()
+        if head is not None and head < time:
+            raise ValueError(
+                f"cannot advance to {time}: pending event at {head}"
+            )
+        if time > self._now:
+            self._now = time
 
     def run_until_idle(self, max_events: int = 1_000_000) -> int:
         """Run until no events remain (bounded to catch runaway loops)."""

@@ -213,6 +213,17 @@ def station_mac(pod: int, station: int = 0) -> MACAddress:
     return MACAddress(0x02_F0_00_00_00_00 | (pod << 8) | station)
 
 
+def _station_net(pod: int) -> str:
+    """First two octets of a pod station's flow-IP block.
+
+    Historically ``10.{100 + pod}``; the carry folds into the first
+    octet so pods >= 156 stay representable while every pod below
+    that keeps its exact historical prefix.
+    """
+    hi, lo = divmod(100 + pod, 256)
+    return f"{10 + hi}.{lo}"
+
+
 @dataclass(frozen=True)
 class CrossPodFlow:
     """One fabric flow: a 5-tuple travelling between two pods."""
@@ -276,10 +287,10 @@ def cross_pod_flows(
                             src_mac=station_mac(src_pod),
                             dst_mac=station_mac(dst_pod),
                             src_ip=IPv4Address(
-                                f"10.{100 + src_pod}.{dst_pod}.{index + 1}"
+                                f"{_station_net(src_pod)}.{dst_pod}.{index + 1}"
                             ),
                             dst_ip=IPv4Address(
-                                f"10.{100 + dst_pod}.{src_pod}.{index + 1}"
+                                f"{_station_net(dst_pod)}.{src_pod}.{index + 1}"
                             ),
                             src_port=rng.randrange(1024, 65536),
                             dst_port=rng.randrange(1, 1024),

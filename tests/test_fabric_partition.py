@@ -14,7 +14,6 @@ from repro.netsim import Link, Node, Simulator
 from repro.netsim.sharded import (
     ShardedSimulator,
     ShardSimulator,
-    ShardSyncError,
     ThreadMesh,
     run_collective,
     sever_link,
@@ -189,12 +188,21 @@ class TestShardSync:
         assert sims[0].shadow_drops == 1
         assert replicas[1][0].got == []
 
-    def test_max_events_overrun_raises_on_all_shards(self):
+    def test_max_events_cap_is_collective_and_clean(self):
+        """A capped collective run stops at the global count — no abort,
+        every shard returns, and the clocks still equalise."""
         sims, replicas = _two_shard_pair()
         for k in range(50):
             sims[0].schedule_at(1e-3 + k * 1e-5, lambda: None)
-        with pytest.raises(ShardSyncError, match="max_events"):
-            run_collective(sims, until=1.0, max_events=5)
+        counts = run_collective(sims, until=1.0, max_events=5)
+        assert sum(counts) == 5
+        assert sims[0].pending_events == 45
+        assert sims[0].now == sims[1].now
+        # The cap is global: the idle shard contributes its zero count
+        # to the same sum every round, so both break at one barrier.
+        counts = run_collective(sims, until=1.0, max_events=10)
+        assert sum(counts) == 10
+        assert sims[0].pending_events == 35
 
     def test_sharded_simulator_facade(self):
         sharded = ShardedSimulator(shards=2, lookahead_s=1e-6)
@@ -278,6 +286,80 @@ class TestShardedFabric:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="backend"):
             ShardedFabric(_small_leaf_spine, shards=1, backend="mpi")
+
+
+def _static_fdb_leaf_spine(sim):
+    """Two-pod leaf-spine whose host MACs are pinned in the edge FDBs.
+
+    Static entries keep same-switch unicast from flooding: a flood
+    would cross the spine cut and add landed/import events, making the
+    global event count shard-dependent.  With the pins, the two-phase
+    station workload below is fully pod-local on every shard count.
+    """
+    fabric = leaf_spine_fabric(
+        edges=8, spines=4, hosts_per_edge=1, gen_ports_per_edge=1, sim=sim
+    )
+    for site in fabric.sites.values():
+        for host, port in zip(site.hosts, site.host_ports):
+            site.switch.fdb.add_static(1, host.mac, port)
+    return fabric
+
+
+_PHASE1_T = 1e-3
+_PHASE2_T = 0.2  # the gap dwarfs every sync window: a globally quiet point
+
+
+def _start_two_phase_traffic(sharded):
+    """Same-switch unicast bursts at t1 and t2 from two far-apart pods."""
+    queued = 0
+    for site_name in ("edge1", "edge4"):
+        port = sharded.attach_station(site_name, f"gen-{site_name}")
+        host = sharded.reference.sites[site_name].hosts[0]
+        frame = EthernetFrame(
+            dst=host.mac,
+            src=MACAddress(0xAA0000 + port),
+            ethertype=0x0800,
+            payload=b"x" * 100,
+        )
+        queued += sharded.start_station(
+            site_name,
+            0,
+            [(_PHASE1_T, [frame] * 8), (_PHASE2_T, [frame] * 8)],
+        )
+    return queued
+
+
+class TestCollectiveMaxEvents:
+    def test_capped_run_stops_at_same_global_count_at_any_shard_count(self):
+        """run(max_events=C) lands on exactly C events at shards 1/2/4.
+
+        C is the phase-1 event count measured uncapped; since phase 1
+        drains before the quiet gap, the collective cap check fires at
+        the same barrier on every shard layout, before any phase-2
+        event runs.
+        """
+        with ShardedFabric(
+            _static_fdb_leaf_spine, shards=1, backend="thread"
+        ) as sharded:
+            assert _start_two_phase_traffic(sharded) == 32
+            cap = sharded.run(until=(_PHASE1_T + _PHASE2_T) / 2)
+        assert cap > 0
+
+        for shards in (1, 2, 4):
+            with ShardedFabric(
+                _static_fdb_leaf_spine, shards=shards, backend="thread"
+            ) as sharded:
+                _start_two_phase_traffic(sharded)
+                processed = sharded.run(until=1.0, max_events=cap)
+                stats = sharded.stats()
+                assert processed == cap, f"shards={shards}"
+                assert stats["events_processed"] == cap
+                # Stopped in the gap: phase 2 still queued everywhere,
+                # and the workload never touched a cut link.
+                assert stats["now"] < _PHASE2_T
+                assert stats["pending_events"] > 0
+                assert stats["frames_exported"] == 0
+                assert stats["shadow_drops"] == 0
 
 
 class TestFleetOwnedSites:

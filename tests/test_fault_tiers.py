@@ -212,6 +212,8 @@ def run_sharded(build, shards):
         "digest": digest,
         "delivered": delivered,
         "shadow_drops": stats["shadow_drops"],
+        "boundary_drops": stats["boundary_drops"],
+        "boundary_drops_by_id": stats["boundary_drops_by_id"],
     }
 
 
@@ -225,6 +227,12 @@ def test_boundary_link_flap_is_shard_invariant():
         candidate["digest"]["packet_ins"] == reference["digest"]["packet_ins"]
     )
     assert candidate["delivered"] == reference["delivered"]
+    # Boundary drops are attributed per cut id: every drop belongs to
+    # the flapped trunk, none to the healthy boundary, and the per-id
+    # rows sum back to the aggregate counter.
+    drops_by_id = candidate["boundary_drops_by_id"]
+    assert set(drops_by_id) <= {BOUNDARY_INDEX}
+    assert sum(drops_by_id.values()) == candidate["boundary_drops"]
     # The flap was actually visible: without it the run ends elsewhere.
     clean = run_sharded(build_ring6, shards=1)
     assert clean["digest"]["sites"] != reference["digest"]["sites"]

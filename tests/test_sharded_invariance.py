@@ -168,6 +168,91 @@ def test_shard_count_invariance(topology):
         _assert_equivalent(reference, candidate, f"{topology}@{shards}")
 
 
+def _make_idle_heavy_mix(seed: int, base: float):
+    """Sparse bursts separated by ~25 ms idle gaps — hundreds of
+    lookahead windows of silence between consecutive events."""
+    rng = random.Random(seed ^ 0x1D7E)
+    flows = cross_pod_flows(PODS, per_pair=1, seed=seed)
+    chosen = rng.sample(flows, k=4)
+    per_pod = {pod: [] for pod in range(PODS)}
+    for slot, flow in enumerate(chosen):
+        frame = synth_frame(flow.spec, payload_len=128)
+        start = base + slot * 0.025 + rng.uniform(0.0005, 0.002)
+        per_pod[flow.src_pod].append((start, [frame] * rng.randint(2, 4)))
+    for bursts in per_pod.values():
+        bursts.sort(key=lambda burst: burst[0])
+    return per_pod
+
+
+def _run_gap_series(build, shards, mix_maker, horizon_s, mixes=3):
+    """Like :func:`_run_mix_series` but with a caller-chosen mix shape
+    and run horizon, and with the sync-round counters captured."""
+    with ShardedFabric(build, shards=shards, backend="thread") as sharded:
+        fleet = sharded.fleet(wave_size=3)
+        reports = fleet.migrate_all(verify=True, strict=True)
+        edge_names = [site.name for site in sharded.reference.edge_sites()]
+        for pod, name in enumerate(edge_names):
+            sharded.attach_station(name, f"gen-{pod}")
+        per_mix = []
+        for seed in range(mixes):
+            base = sharded.stats()["now"]
+            injected = 0
+            mix = mix_maker(seed, base + 0.001)
+            for pod, name in enumerate(edge_names):
+                if mix[pod]:
+                    injected += sharded.start_station(name, 0, mix[pod])
+            sharded.run(until=base + horizon_s)
+            per_mix.append((injected, sharded.delivered()))
+        digest = sharded.digest()
+        stats = sharded.stats()
+    waves = [
+        (report["index"], report["migrated"], report["reachability"])
+        for report in reports
+    ]
+    return {
+        "waves": waves,
+        "per_mix": per_mix,
+        "digest": digest,
+        "shadow_drops": stats["shadow_drops"],
+        "sync_rounds": stats["sync_rounds"],
+        "rounds_skipped": stats["rounds_skipped"],
+    }
+
+
+def test_idle_heavy_mix_skips_windows_and_stays_invariant():
+    """Multi-window idle gaps: digests stay bit-identical while the
+    skip-ahead counter proves the engine jumped the silence instead of
+    grinding a 50 us round through every gap."""
+    build = BUILDERS["leaf_spine"]
+    reference = _run_gap_series(
+        build, 1, _make_idle_heavy_mix, horizon_s=0.12
+    )
+    assert sum(injected for injected, _ in reference["per_mix"]) > 0
+    for shards in SHARD_COUNTS[1:]:
+        candidate = _run_gap_series(
+            build, shards, _make_idle_heavy_mix, horizon_s=0.12
+        )
+        _assert_equivalent(reference, candidate, f"idle-heavy@{shards}")
+        # 3 mixes x 0.12 s of mostly-idle time / 50 us windows: a
+        # fixed-step engine would need thousands of rounds here.
+        assert candidate["rounds_skipped"] > 100, f"shards={shards}"
+        assert candidate["sync_rounds"] < candidate["rounds_skipped"]
+
+
+def test_bursty_then_quiet_mix_skips_the_tail():
+    """A dense burst phase followed by a long quiet tail before the
+    horizon: the busy phase syncs densely, the tail is skipped."""
+    build = BUILDERS["ring"]
+    reference = _run_gap_series(build, 1, _make_mix, horizon_s=0.1)
+    assert sum(injected for injected, _ in reference["per_mix"]) > 0
+    for shards in SHARD_COUNTS[1:]:
+        candidate = _run_gap_series(build, shards, _make_mix, horizon_s=0.1)
+        _assert_equivalent(reference, candidate, f"bursty-quiet@{shards}")
+        # Each mix ends with >90 ms of silence — ~1900 windows — that
+        # must be jumped, not walked.
+        assert candidate["rounds_skipped"] > 100, f"shards={shards}"
+
+
 def test_fork_backend_matches_thread_backend():
     """The pickled pipe transport is exactly the by-reference one."""
     build = BUILDERS["leaf_spine"]
