@@ -44,6 +44,7 @@ Refresh the baselines after an intentional perf change with::
     PYTHONPATH=src python benchmarks/bench_churn.py --fast
     PYTHONPATH=src python benchmarks/bench_fabric.py --fast --shards 2
     PYTHONPATH=src python benchmarks/bench_resilience.py --fast
+    PYTHONPATH=src python benchmarks/bench_storm.py --fast
     python benchmarks/check_regression.py --update
 
 and commit the updated ``benchmarks/baselines/*.json``.
@@ -63,7 +64,7 @@ RESULTS_DIR = BENCH_DIR / "results"
 #: Keys that identify a row (workload shape), not measurements.
 IDENTITY_KEYS = (
     "bench", "config", "kind", "policy", "flows", "masked_entries", "burst",
-    "edges", "shards", "topology", "event",
+    "edges", "shards", "topology", "event", "protection",
 )
 #: Sync-protocol counters from sharded-fabric rows: bit-deterministic
 #: for a given workload, gated by exact equality.

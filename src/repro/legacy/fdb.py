@@ -25,10 +25,17 @@ class FdbEntry:
 class ForwardingDatabase:
     """A bounded, aging MAC table.
 
-    Real switches have a fixed-size CAM; when it fills, the oldest
-    dynamic entry is evicted (a simplification of hash-bucket collision
-    behaviour that preserves the important property: tables overflow and
-    traffic to evicted MACs floods).
+    Real switches have a fixed-size CAM; the eviction policy here is
+    **explicit and load-bearing**: when the table is full, learning a
+    new address evicts the *oldest dynamic* entry (smallest
+    ``learned_at``; static entries are configuration and never
+    evicted).  This is a simplification of hash-bucket collision
+    behaviour that preserves the important properties under MAC-churn
+    pressure: memory stays bounded at ``capacity`` entries, the switch
+    never refuses to learn, and traffic towards an evicted MAC degrades
+    to *flooding*, not to loss — counted in ``flood_fallbacks`` by the
+    dataplane whenever a unicast lookup misses and the frame floods
+    instead (see :meth:`stats`).
     """
 
     def __init__(self, capacity: int = 8192, aging_s: float = 300.0) -> None:
@@ -40,6 +47,10 @@ class ForwardingDatabase:
         self.learn_events = 0
         self.move_events = 0
         self.evictions = 0
+        #: Unknown-unicast frames the dataplane flooded because the
+        #: lookup missed (aged out, evicted, or never learned) —
+        #: incremented by the owning switch at its flood decision.
+        self.flood_fallbacks = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -72,6 +83,7 @@ class ForwardingDatabase:
         )
 
     def _evict_oldest(self) -> None:
+        """Evict-oldest-dynamic: the capacity policy, in one place."""
         dynamic = [
             (entry.learned_at, key)
             for key, entry in self._entries.items()
@@ -139,6 +151,24 @@ class ForwardingDatabase:
         for key in doomed:
             del self._entries[key]
         return len(doomed)
+
+    def stats(self) -> dict:
+        """Occupancy and pressure counters (exported like SNMP gauges).
+
+        ``inserts`` counts new dynamic entries accepted (refreshes and
+        moves excluded), ``evictions`` the oldest-dynamic victims the
+        capacity policy removed, and ``flood_fallbacks`` the unknown-
+        unicast frames that degraded to flooding — together they are
+        the observable proof that a full table floods, not crashes.
+        """
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "inserts": self.learn_events,
+            "moves": self.move_events,
+            "evictions": self.evictions,
+            "flood_fallbacks": self.flood_fallbacks,
+        }
 
     def entries(self) -> Iterator[FdbEntry]:
         """All entries, sorted by (vlan, mac) — the order SNMP walks them."""

@@ -39,6 +39,9 @@ class SwitchCounters:
     flooded: int = 0
     filtered_ingress: int = 0
     dropped_no_ports: int = 0
+    #: Flood-class frames dropped by storm control (see
+    #: :mod:`repro.legacy.stormcontrol`); 0 unless a meter is armed.
+    storm_suppressed: int = 0
     per_port_rx: dict[int, int] = field(default_factory=dict)
     per_port_tx: dict[int, int] = field(default_factory=dict)
 
@@ -68,6 +71,10 @@ class LegacySwitch(Node):
         #: Attached spanning-tree instance (see :mod:`repro.legacy.stp`);
         #: None means no STP — the dataplane forwards unconditionally.
         self.stp = None
+        #: Optional per-ingress-port flood meter (see
+        #: :mod:`repro.legacy.stormcontrol`); None — the default — keeps
+        #: the flood path bit-identical to a switch without the feature.
+        self.storm_control = None
         #: False while crashed (see :meth:`power_off`): the dataplane
         #: drops everything and the control plane is frozen.
         self.running = True
@@ -192,11 +199,19 @@ class LegacySwitch(Node):
         out_port = None
         if frame.dst.is_unicast:
             out_port = self.fdb.lookup(vlan_id, frame.dst, self.sim.now)
+            if out_port is None:
+                self.fdb.flood_fallbacks += 1
         if out_port is not None:
             if out_port != ingress_port:
                 self._egress(out_port, vlan_id, frame)
             return
-        # Unknown unicast / broadcast / multicast: flood the VLAN.
+        # Unknown unicast / broadcast / multicast: flood the VLAN —
+        # unless the ingress port's storm meter says this is a storm.
+        if self.storm_control is not None and not self.storm_control.allow(
+            ingress_port, self.sim.now
+        ):
+            self.counters.storm_suppressed += 1
+            return
         members = self.config.ports_in_vlan(vlan_id)
         flooded_to = [number for number in members if number != ingress_port]
         if not flooded_to:

@@ -24,6 +24,11 @@ fail action plus an optional timed restore:
 * **Controller loss** — :meth:`controller_loss` black-holes a
   control channel for a window (packet-ins die in transit; the
   datapath degrades to table-miss behaviour) and restores it cleanly.
+* **Broadcast storm** — :meth:`storm` plays a train of identical
+  broadcast frames into a port at a configured rate for a window (a
+  looped cable or babbling NIC), counting what the port accepted
+  versus dropped.  Containment is the fabric's job — storm control
+  (:mod:`repro.legacy.stormcontrol`) if armed, meltdown if not.
 
 The injector only *schedules*; all state changes happen inside the
 simulation at the configured times, so runs remain deterministic and
@@ -70,6 +75,10 @@ class FaultInjector:
         self.log: "list[tuple[float, str]]" = []
         #: id(link) -> [(node, port_number)] taken down by a pending cut.
         self._downed_ports: "dict[int, list]" = {}
+        #: Storm frames the injection port accepted / refused (down or
+        #: dangling ports drop at the source), across all storms.
+        self.storm_frames_sent = 0
+        self.storm_frames_lost = 0
 
     def _record(self, description: str) -> None:
         self.log.append((self.sim.now, description))
@@ -161,6 +170,60 @@ class FaultInjector:
 
         self.sim.schedule_at(at_s, crash)
         self.sim.schedule_at(at_s + hold_s, restore)
+
+    # ------------------------------------------------- broadcast storms
+
+    def storm(
+        self,
+        port,
+        at_s: float,
+        duration_s: float,
+        rate_fps: float,
+        burst: int = 16,
+        vlan_id: "int | None" = None,
+        src_mac=None,
+    ) -> int:
+        """Blast broadcast frames into the fabric through *port*.
+
+        *port* is the attacker-side :class:`~repro.netsim.node.Port` —
+        a host or station port whose link leads into the fabric (the
+        storm travels ``port -> switch``, like a looped access cable).
+        ``int(duration_s * rate_fps)`` identical broadcast frames leave
+        in bursts of *burst* starting at *at_s*; frames the port
+        refuses (down/dangling) count as ``storm_frames_lost``.
+        Returns the number of frames scheduled.
+        """
+        if duration_s <= 0:
+            raise ValueError("storm duration must be positive")
+        # Lazy import: netsim is a base layer; the generators module
+        # (which imports netsim) only loads when a storm is injected.
+        from repro.traffic.generators import burst_schedule, storm_frames
+
+        schedule = burst_schedule(rate_fps, duration_s, burst, start_s=at_s)
+        total = sum(count for _, count in schedule)
+        template = storm_frames(1, src_mac=src_mac, vlan_id=vlan_id)[0]
+
+        def begin() -> None:
+            self._record(
+                f"storm start: {port.node.name}:{port.number} "
+                f"({rate_fps:g} fps for {duration_s:g}s)"
+            )
+
+        def fire(count: int) -> None:
+            queued = port.send_burst([template] * count)
+            self.storm_frames_sent += queued
+            self.storm_frames_lost += count - queued
+
+        def end() -> None:
+            self._record(
+                f"storm end: {port.node.name}:{port.number} ({total} frames)"
+            )
+
+        self.sim.schedule_at(at_s, begin)
+        for start, count in schedule:
+            self.sim.schedule_at(start, lambda c=count: fire(c))
+        self.sim.schedule_at(at_s + duration_s, end)
+        return total
 
     # -------------------------------------------------- controller loss
 

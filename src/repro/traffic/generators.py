@@ -206,6 +206,84 @@ def interleave_bursts(
     return bursts
 
 
+#: Source MAC a broadcast storm claims unless the caller picks one
+#: (locally administered, so it never collides with host/station MACs).
+STORM_SRC_MAC = MACAddress(0x02_BA_D0_00_00_01)
+
+
+def storm_frames(
+    count: int,
+    src_mac: "MACAddress | None" = None,
+    vlan_id: "int | None" = None,
+    payload_len: int = 32,
+) -> "list[EthernetFrame]":
+    """*count* copies of one broadcast frame — a looped or babbling source.
+
+    A real broadcast storm replicates the *same* frame (a loop replays
+    it, a babbling NIC repeats it), so a single template is reused for
+    the whole train; anything metering the storm sees *count* identical
+    flood-class arrivals.
+    """
+    if count < 1:
+        raise ValueError("storm needs at least one frame")
+    template = udp_frame(
+        src_mac if src_mac is not None else STORM_SRC_MAC,
+        BROADCAST_MAC,
+        IPv4Address("10.255.0.1"),
+        IPv4Address("10.255.255.255"),
+        68,
+        67,
+        payload=b"\x00" * payload_len,
+        vlan_id=vlan_id,
+    )
+    return [template] * count
+
+
+def mac_churn_bursts(
+    schedule: "list[tuple[float, int]]",
+    seed: int = 0,
+    dst_mac: "MACAddress | None" = None,
+    vlan_id: "int | None" = None,
+    payload_len: int = 32,
+) -> "list[tuple[float, list[EthernetFrame]]]":
+    """Fill *schedule*'s bursts with frames from ever-changing source MACs.
+
+    Every frame carries a **distinct** randomised source MAC (collisions
+    are re-drawn), so a train of *n* frames forces *n* FDB learns — the
+    MAC-churn pressure a scanning worm or an L2 loop with diverse
+    traffic puts on the CAM.  The destination defaults to a fixed
+    never-learned unicast MAC, so every frame is also an unknown-unicast
+    flood; pass a learned *dst_mac* to exercise pure learning pressure
+    instead.
+    """
+    rng = random.Random(seed)
+    dst = dst_mac if dst_mac is not None else MACAddress(0x02_DE_AD_00_00_01)
+    seen: "set[int]" = set()
+    bursts = []
+    for start, count in schedule:
+        frames = []
+        for _ in range(count):
+            while True:
+                low = rng.randrange(1 << 32)
+                if low not in seen:
+                    seen.add(low)
+                    break
+            frames.append(
+                udp_frame(
+                    MACAddress(0x02_C4_00_00_00_00 | low),
+                    dst,
+                    IPv4Address("10.254.0.1"),
+                    IPv4Address("10.254.0.2"),
+                    1024,
+                    1024,
+                    payload=b"\x00" * payload_len,
+                    vlan_id=vlan_id,
+                )
+            )
+        bursts.append((start, frames))
+    return bursts
+
+
 def station_mac(pod: int, station: int = 0) -> MACAddress:
     """The MAC a fabric traffic station in *pod* claims for its flows."""
     if not 0 <= pod < 256 or not 0 <= station < 256:

@@ -11,7 +11,7 @@ import pytest
 
 from repro.apps import LearningSwitchApp
 from repro.controller import Controller
-from repro.legacy import LegacySwitch
+from repro.legacy import LegacySwitch, StormControl
 from repro.net import EthernetFrame, IPv4Address, MACAddress
 from repro.netsim import FaultInjector, Host, Link, Node, Simulator
 from repro.netsim.link import wire
@@ -231,6 +231,74 @@ class TestControllerChannelLoss:
         sim.run(until=5.0)
         assert len(h1.rtts()) == 1
         assert app.packet_ins_handled > 0
+
+
+class TestStormInjection:
+    def build(self):
+        sim = Simulator()
+        switch = LegacySwitch(sim, "sw", num_ports=4, processing_delay_s=0.0)
+        hosts, links = [], []
+        for index in range(2):
+            host = Host(
+                sim,
+                f"h{index + 1}",
+                MACAddress(0x02_00_00_00_00_61 + index),
+                IPv4Address(f"10.5.0.{index + 1}"),
+            )
+            links.append(Link(host.port0, switch.port(index + 1)))
+            hosts.append(host)
+        return sim, switch, hosts, links
+
+    def test_storm_melts_an_unprotected_switch(self):
+        sim, switch, (h1, h2), _ = self.build()
+        injector = FaultInjector(sim)
+        total = injector.storm(
+            h1.port0, at_s=0.01, duration_s=0.02, rate_fps=2000, burst=8
+        )
+        sim.run(until=0.1)
+        assert total == 40
+        assert injector.storm_frames_sent == 40
+        assert injector.storm_frames_lost == 0
+        # Every storm frame flooded: the meltdown the meter prevents.
+        assert switch.counters.flooded == 40
+        descriptions = [entry[1] for entry in injector.log]
+        assert descriptions[0].startswith("storm start: h1:0")
+        assert descriptions[-1] == "storm end: h1:0 (40 frames)"
+
+    def test_storm_contained_by_armed_meter(self):
+        sim, switch, (h1, h2), _ = self.build()
+        switch.storm_control = StormControl(
+            rate_fps=100, burst=4, recovery_s=0.05
+        )
+        injector = FaultInjector(sim)
+        total = injector.storm(
+            h1.port0, at_s=0.01, duration_s=0.02, rate_fps=2000, burst=8
+        )
+        sim.run(until=0.1)
+        assert injector.storm_frames_sent == total  # source never blocked
+        assert switch.counters.storm_suppressed > 0
+        assert switch.counters.flooded < total
+        assert (
+            switch.counters.flooded + switch.counters.storm_suppressed == total
+        )
+
+    def test_down_port_counts_losses_at_the_source(self):
+        sim, switch, (h1, h2), (l1, _) = self.build()
+        l1.set_down()
+        injector = FaultInjector(sim)
+        total = injector.storm(
+            h1.port0, at_s=0.01, duration_s=0.02, rate_fps=2000, burst=8
+        )
+        sim.run(until=0.1)
+        assert injector.storm_frames_sent == 0
+        assert injector.storm_frames_lost == total
+        assert switch.counters.flooded == 0
+
+    def test_storm_requires_positive_duration(self):
+        sim = Simulator()
+        injector = FaultInjector(sim)
+        with pytest.raises(ValueError):
+            injector.storm(object(), at_s=0.0, duration_s=0.0, rate_fps=100)
 
 
 class TestInjectorLinkFaults:

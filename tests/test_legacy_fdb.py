@@ -83,6 +83,46 @@ class TestCapacity:
             ForwardingDatabase(capacity=0)
 
 
+class TestStats:
+    def test_stats_pins_the_policy_counters(self):
+        fdb = ForwardingDatabase(capacity=2)
+        fdb.learn(1, MACAddress(0x02_00_00_00_00_01), 1, now=0.0)
+        fdb.learn(1, MACAddress(0x02_00_00_00_00_02), 2, now=1.0)
+        fdb.learn(1, MACAddress(0x02_00_00_00_00_03), 3, now=2.0)  # evicts
+        fdb.learn(1, MACAddress(0x02_00_00_00_00_02), 4, now=3.0)  # moves
+        assert fdb.stats() == {
+            "size": 2,
+            "capacity": 2,
+            "inserts": 3,
+            "moves": 1,
+            "evictions": 1,
+            "flood_fallbacks": 0,
+        }
+
+    def test_churn_stays_bounded_and_degrades_to_flooding(self):
+        """MAC churn far beyond capacity: memory bounded, never refuses
+        to learn, and the evicted MACs resolve to None — the dataplane
+        floods (counting ``flood_fallbacks``) instead of crashing."""
+        fdb = ForwardingDatabase(capacity=64, aging_s=1e9)
+        for index in range(4096):
+            fdb.learn(
+                1,
+                MACAddress(0x02_00_00_10_00_00 + index),
+                1 + index % 8,
+                now=float(index),
+            )
+        stats = fdb.stats()
+        assert len(fdb) == 64
+        assert stats["size"] == 64 <= stats["capacity"]
+        assert stats["inserts"] == 4096
+        assert stats["evictions"] == 4096 - 64
+        assert fdb.lookup(1, MACAddress(0x02_00_00_10_00_00), now=4096.0) is None
+        assert (
+            fdb.lookup(1, MACAddress(0x02_00_00_10_00_00 + 4095), now=4096.0)
+            == 4095 % 8 + 1
+        )
+
+
 class TestFlush:
     def test_flush_port(self):
         fdb = ForwardingDatabase()

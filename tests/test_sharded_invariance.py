@@ -34,8 +34,9 @@ from repro.fabric import (
     ring_fabric,
 )
 from repro.fabric.partition import PacketInRecorder, site_digest
+from repro.legacy import StormControl
 from repro.netsim.simulator import Simulator
-from repro.traffic.generators import cross_pod_flows, synth_frame
+from repro.traffic.generators import cross_pod_flows, storm_frames, synth_frame
 
 #: 56 mixes x 3 shard counts x 3 topologies = 504 randomized case-runs.
 MIXES_PER_TOPOLOGY = 56
@@ -251,6 +252,56 @@ def test_bursty_then_quiet_mix_skips_the_tail():
         # Each mix ends with >90 ms of silence — ~1900 windows — that
         # must be jumped, not walked.
         assert candidate["rounds_skipped"] > 100, f"shards={shards}"
+
+
+def build_ring_with_storm_control(sim):
+    """The ring fabric with an armed flood meter on every legacy switch.
+
+    Arming happens inside the build callable — SPMD topology
+    configuration, identical on every shard, like propagation delays.
+    """
+    fabric = build_ring(sim)
+    for site in fabric.sites.values():
+        # Generous burst: the migration verify sweep's ARP flood and
+        # the background mixes stay conforming; only a real storm trips.
+        site.switch.storm_control = StormControl(
+            rate_fps=2000, burst=256, recovery_s=0.01
+        )
+    return fabric
+
+
+def _make_storm_mix(seed: int, base: float):
+    """A background cross-pod mix plus a dense broadcast storm from
+    pod 0: 480 identical broadcast frames inside 4 ms — far over the
+    armed meter's budget."""
+    mix = _make_mix(seed, base)
+    storm = [
+        (base + 0.0002 + index * 1e-4, storm_frames(12)) for index in range(40)
+    ]
+    mix[0] = sorted(mix[0] + storm, key=lambda burst: burst[0])
+    return mix
+
+
+def test_storm_containment_is_shard_invariant():
+    """Storm-control decisions are pure simulated time + per-port
+    arrival order, so a storm raging across shard boundaries must
+    suppress the *same frames* at every shard count: full digests —
+    ``storm_suppressed`` counters included — bit-identical at
+    shards ∈ {1, 2}."""
+    reference = _run_gap_series(
+        build_ring_with_storm_control, 1, _make_storm_mix,
+        horizon_s=0.012, mixes=4,
+    )
+    suppressed = sum(
+        site["counters"]["storm_suppressed"]
+        for site in reference["digest"]["sites"].values()
+    )
+    assert suppressed > 0, "the storm never tripped a meter"
+    candidate = _run_gap_series(
+        build_ring_with_storm_control, 2, _make_storm_mix,
+        horizon_s=0.012, mixes=4,
+    )
+    _assert_equivalent(reference, candidate, "storm@2")
 
 
 def test_fork_backend_matches_thread_backend():
