@@ -10,9 +10,16 @@ import pytest
 
 from repro.apps import ArpResponderApp, Backend, LearningSwitchApp, LoadBalancerApp
 from repro.net import IPv4Address, MACAddress
+from repro.net.build import udp_frame
 from repro.traffic import zipf_weights
 
-from common import build_harmless_site, save_result
+from common import (
+    build_harmless_site,
+    measure_usecase_datapath,
+    render_usecase_datapath,
+    save_json,
+    save_result,
+)
 
 VIP = IPv4Address("10.0.0.100")
 VIP_MAC = MACAddress("02:00:00:00:0f:00")
@@ -51,11 +58,11 @@ def build(num_clients=NUM_CLIENTS, num_backends=NUM_BACKENDS):
     backends = hosts[num_clients:]
     for backend in backends:
         backend.serve_udp(80, lambda h, ip, sp, dp, pl: None)
-    return sim, clients, backends
+    return sim, clients, backends, deployment
 
 
 def run_workload(weights=None, requests_per_client=4):
-    sim, clients, backends = build()
+    sim, clients, backends, _ = build()
     weights = weights or [1.0] * len(clients)
     for client, weight in zip(clients, weights):
         count = max(1, round(requests_per_client * weight * len(clients)))
@@ -69,6 +76,42 @@ def run_workload(weights=None, requests_per_client=4):
         max(1, round(requests_per_client * w * len(clients))) for w in weights
     )
     return counts, offered
+
+
+def make_datapath_rig(specialize: bool):
+    """The LB pipeline as a datapath workload: client requests to the
+    VIP, spread over backends by the select group's source-IP hash.
+    The VIP rule matches L3 only and the hash reads ``ipv4_src``, so
+    the compiled tier bakes one bucket choice per client into its
+    shrunk-key cache while varying L4 source ports thrash the
+    interpreted full-key microflow cache."""
+    sim, clients, backends, deployment = build()
+    switch = deployment.s4.ss2
+    switch.specialize = specialize
+    # 16_384 distinct source ports: longer than any measured run, so
+    # the interpreted full-key cache never sees a repeated frame.
+    stream = []
+    for index in range(16_384):
+        client = clients[index % len(clients)]
+        sport = 1024 + (index * 11) % 16_384
+        stream.append(
+            udp_frame(client.mac, VIP_MAC, client.ip, VIP, sport, 80, b"GET /")
+        )
+    return sim, switch, stream, 1
+
+
+def run_datapath_suite(packets: int = 12_000) -> list:
+    return measure_usecase_datapath("usecase_lb", make_datapath_rig, packets)
+
+
+def test_datapath_runs_compiled():
+    """The VIP/select-group pipeline compiles (select-bucket baking)
+    and serves the steady client traffic from tier 0."""
+    rows = run_datapath_suite(packets=3_000)
+    specialized = rows[1]
+    assert specialized["compiles"] >= 1
+    assert specialized["specialized_share"] > 0.5
+    assert specialized["speedup_vs_interpreted"] > 0
 
 
 def test_load_balancer_uniform(benchmark):
@@ -109,7 +152,7 @@ def test_load_balancer_zipf(benchmark):
 
 def test_affinity_preserved(benchmark):
     def run():
-        sim, clients, backends = build(num_clients=4)
+        sim, clients, backends, _ = build(num_clients=4)
         for _ in range(6):
             clients[0].send_udp(VIP, 80, b"GET /same")
         sim.run(until=3.0)
@@ -118,3 +161,21 @@ def test_affinity_preserved(benchmark):
     counts = benchmark(run)
     assert sorted(counts)[-1] == 6  # all six on one backend
     assert sum(counts) == 6
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true", help="CI smoke: fewer packets"
+    )
+    args = parser.parse_args(argv)
+    mode = "smoke" if args.fast else "full"
+    rows = run_datapath_suite(packets=3_000 if args.fast else 12_000)
+    save_result("usecase_lb_datapath", render_usecase_datapath("UC-LB", rows))
+    save_json("usecase_lb", rows, mode)
+
+
+if __name__ == "__main__":
+    main()

@@ -45,6 +45,9 @@ Refresh the baselines after an intentional perf change with::
     PYTHONPATH=src python benchmarks/bench_fabric.py --fast --shards 2
     PYTHONPATH=src python benchmarks/bench_resilience.py --fast
     PYTHONPATH=src python benchmarks/bench_storm.py --fast
+    PYTHONPATH=src python benchmarks/bench_usecase_dmz.py --fast
+    PYTHONPATH=src python benchmarks/bench_usecase_lb.py --fast
+    PYTHONPATH=src python benchmarks/bench_usecase_pc.py --fast
     python benchmarks/check_regression.py --update
 
 and commit the updated ``benchmarks/baselines/*.json``.

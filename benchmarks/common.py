@@ -8,7 +8,9 @@ exercises.  Results are printed and archived under
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 from repro.apps import LearningSwitchApp
 from repro.controller import Controller
@@ -116,6 +118,99 @@ def save_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}\n")
+
+
+def save_json(name: str, rows: list, mode: str) -> pathlib.Path:
+    """Archive machine-readable rows for the check_regression.py gate."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {"bench": name, "mode": mode, "rows": rows}
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def measure_usecase_datapath(
+    name: str,
+    make_rig,
+    packets: int = 12_000,
+    burst: int = 32,
+    repeats: int = MEASURE_REPEATS,
+) -> list:
+    """Compiled-vs-interpreted wall-clock pps through a use-case pipeline.
+
+    ``make_rig(specialize)`` returns ``(sim, switch, stream, in_port)``:
+    a fully provisioned HARMLESS site whose *switch* carries the use
+    case's installed rules, and a frame *stream* exercising them in
+    steady state.  Each config runs *repeats* full passes; the best
+    pps survives (the ``keep_best`` noise-suppression story: scheduler
+    interference must depress *every* pass of a config to depress its
+    published number, which matters here because the site's full
+    delivery path — trunk, QinQ, host receive — dwarfs the datapath
+    delta being measured).  The specialized rows carry
+    ``speedup_vs_interpreted`` plus the compiled-tier activity
+    counters the acceptance gate checks.
+    """
+    best: dict[str, dict] = {}
+    for config in ("interpreted", "specialized"):
+        runs = []
+        for _ in range(repeats):
+            sim, switch, stream, in_port = make_rig(config == "specialized")
+            # One mod is enough to trigger a recompile: the use-case
+            # pipeline is installed up front and then left quiet.
+            switch.recompile_after_mods = 1
+            frames = [stream[i % len(stream)] for i in range(packets)]
+            bursts = [
+                frames[i : i + burst] for i in range(0, len(frames), burst)
+            ]
+            process_batch = switch.process_batch
+            start = time.perf_counter()
+            for chunk in bursts:
+                process_batch(in_port, list(chunk))
+            sim.run()
+            elapsed = time.perf_counter() - start
+            spec = switch.stats()["specialization"]
+            runs.append(
+                {
+                    "bench": name,
+                    "config": config,
+                    "packets": len(frames),
+                    "pps": len(frames) / elapsed,
+                    "compiles": spec["compiles"],
+                    "specialized_share": (
+                        spec["specialized_frames"] / len(frames)
+                        if spec["enabled"]
+                        else 0.0
+                    ),
+                }
+            )
+        row = dict(runs[0])
+        row["pps"] = max(run["pps"] for run in runs)
+        best[config] = row
+    best["specialized"]["speedup_vs_interpreted"] = (
+        best["specialized"]["pps"] / best["interpreted"]["pps"]
+    )
+    return [best["interpreted"], best["specialized"]]
+
+
+def render_usecase_datapath(name: str, rows: list) -> str:
+    lines = [
+        "=" * 72,
+        f"{name}: datapath wall-clock, compiled tier vs interpreted",
+        "=" * 72,
+        f"{'config':>12} {'pps':>12} {'speedup':>8} {'compiles':>9} "
+        f"{'spec share':>11}",
+    ]
+    for row in rows:
+        speedup = (
+            f"{row['speedup_vs_interpreted']:>7.2f}x"
+            if "speedup_vs_interpreted" in row
+            else f"{'—':>8}"
+        )
+        lines.append(
+            f"{row['config']:>12} {row['pps']:>12.0f} {speedup} "
+            f"{row['compiles']:>9} {row['specialized_share']:>10.1%}"
+        )
+    return "\n".join(lines)
 
 
 def make_hosts(sim: Simulator, count: int, net: str = "10.0.0") -> list[Host]:

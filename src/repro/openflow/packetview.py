@@ -147,6 +147,24 @@ class PacketView:
         return compile_flow_key_extractor(slots)(self.frame, self.in_port)
 
 
+def expand_key(
+    slots: "tuple[int, ...]", values: "tuple[Optional[int], ...]"
+) -> "tuple[Optional[int], ...]":
+    """Rehydrate a shrunk key back into full 14-slot form.
+
+    Positions listed in *slots* receive the corresponding entries of
+    *values*; every other slot is None.  When *slots* covers every slot
+    any match in a pipeline reads, the expanded key classifies exactly
+    like the full key — the basis for running interpreted table walks
+    (multi-table chain building, select-group hashing) off a shrunk
+    key produced by a specialized extractor.
+    """
+    full: "list[Optional[int]]" = [None] * len(FLOW_KEY_FIELDS)
+    for slot, value in zip(slots, values):
+        full[slot] = value
+    return tuple(full)
+
+
 # ---------------------------------------------------------------------------
 # Miniflow shrinking: code-generated partial flow-key extractors
 # ---------------------------------------------------------------------------

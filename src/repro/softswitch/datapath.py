@@ -141,6 +141,10 @@ class SoftSwitch(Node):
         #: fallback while specialization was enabled.
         self.specialized_frames = 0
         self.fallback_frames = 0
+        #: Why the last compile fell back (first failing rule) or was
+        #: rejected outright; None when the pipeline compiles clean.
+        #: Written by :func:`repro.softswitch.compiler.compile_datapath`.
+        self.compile_ineligible_reason: "Optional[str]" = None
         self.cost_model = cost_model
         # The construction-time model assignment is not a mutation; a
         # fresh switch should not recompile until a FlowMod lands.
@@ -155,9 +159,9 @@ class SoftSwitch(Node):
         #: .StormControl`, consulted per ingress port before an
         #: ``OFPP_FLOOD``/``OFPP_ALL`` expansion).  None — the default —
         #: leaves every tier bit-identical to a guard-free switch.
-        #: Flood and controller outputs are never specialized
-        #: (``compiler._entry_compilable``), so the interpreter hook
-        #: below covers the compiled tier too.
+        #: Flood and controller outputs compile to per-entry FALLBACK
+        #: decisions that route through :meth:`_interpret_one`, so the
+        #: interpreter hook below covers the compiled tier too.
         self.flood_guard = None
         self.floods_suppressed = 0
         #: Miss-suppression window (simulated seconds): a packet-in
@@ -301,6 +305,7 @@ class SoftSwitch(Node):
                 "pending_mods": self._pending_mods,
                 "specialized_frames": self.specialized_frames,
                 "fallback_frames": self.fallback_frames,
+                "ineligible_reason": self.compile_ineligible_reason,
             },
             "cache": self.flow_cache.stats() if self.flow_cache is not None else None,
         }
@@ -507,7 +512,20 @@ class SoftSwitch(Node):
             if program is not None:
                 program.run_one(frame, in_port)
                 return
-            self.fallback_frames += 1
+            self._interpret_one(frame, in_port)
+            return
+        stats = PipelineStats()
+        outputs, async_messages = self._buffered(self._run_pipeline, frame, in_port, stats)
+        self._flush(outputs, async_messages, stats)
+
+    def _interpret_one(self, frame: EthernetFrame, in_port: int) -> None:
+        """One frame through the interpreted path while specialization
+        is enabled: either no program is active, or the active program
+        selected a FALLBACK decision for this frame (packet-in, flood,
+        action-set semantics...) and handed it over.  Does all of its
+        own counting — the compiled caller only routes.
+        """
+        self.fallback_frames += 1
         stats = PipelineStats()
         outputs, async_messages = self._buffered(self._run_pipeline, frame, in_port, stats)
         self._flush(outputs, async_messages, stats)

@@ -52,9 +52,23 @@ class GroupEntry:
         self, view: PacketView, hash_fields: "tuple[str, ...]" = SELECT_HASH_FIELDS
     ) -> Optional[int]:
         """Weighted-hash bucket index for *view* (None if no buckets)."""
+        return self.select_bucket_for_key(view.flow_key(), hash_fields)
+
+    def select_bucket_for_key(
+        self,
+        key: "tuple[Optional[int], ...]",
+        hash_fields: "tuple[str, ...]" = SELECT_HASH_FIELDS,
+    ) -> Optional[int]:
+        """Bucket index for a full 14-slot flow *key*.
+
+        The hash reads only *hash_fields* slots, so any key whose
+        hash-field slots carry the packet's decoded values — including
+        an :func:`~repro.openflow.packetview.expand_key`-rehydrated
+        shrunk key — selects the same bucket as the full decode.  The
+        compiled tier bakes bucket choices per flow key on this basis.
+        """
         if not self.buckets:
             return None
-        key = view.flow_key()  # one decode, values by slot
         key_material = []
         for name in hash_fields:
             value = key[FIELD_INDEX[name]]
@@ -107,6 +121,13 @@ class GroupTable:
 
     def get(self, group_id: int) -> Optional[GroupEntry]:
         return self._groups.get(group_id)
+
+    def has_select_groups(self) -> bool:
+        """True when any select group is installed (compiler probe:
+        decides whether the shrunk flow key must carry hash slots)."""
+        return any(
+            entry.group_type == OFPGT_SELECT for entry in self._groups.values()
+        )
 
     def dump(self) -> str:
         lines = [f"groups ({len(self._groups)}):"]

@@ -11,8 +11,12 @@ time advancing between bursts so multi-table walks, group selection and
 entry expiry (both the sweeper and the lazy replay validation) are all
 covered, under both a zero-cost model (batched egress) and the eswitch
 cost model (deferred per-frame emission).
+
+Set ``DIFFERENTIAL_SCALE=<n>`` to multiply the randomized case counts
+(the nightly extended job runs at 5×).
 """
 
+import os
 import random
 
 from repro.net import EthernetFrame, IPv4Address, MACAddress
@@ -272,6 +276,17 @@ def assert_identical(batch_rig, seq_rig):
 
 def run_differential(seed, rounds, bursts_per_round, cost_model):
     """Returns how many bursts were compared."""
+    try:
+        return _run_differential(seed, rounds, bursts_per_round, cost_model)
+    except AssertionError:
+        print(
+            f"\nDIFFERENTIAL FAILURE: seed=0x{seed:X} rounds={rounds} "
+            f"bursts_per_round={bursts_per_round}"
+        )
+        raise
+
+
+def _run_differential(seed, rounds, bursts_per_round, cost_model):
     rng = random.Random(seed)
     bursts_done = 0
     for _ in range(rounds):
@@ -302,16 +317,20 @@ def run_differential(seed, rounds, bursts_per_round, cost_model):
     return bursts_done
 
 
+#: Case-count multiplier; the nightly extended job sets this to 5.
+SCALE = max(1, int(os.environ.get("DIFFERENTIAL_SCALE", "1")))
+
+
 class TestBatchDifferential:
     def test_zero_cost_batched_egress(self):
         """≥600 bursts with immediate (coalesced) egress."""
-        assert run_differential(0xB4757, rounds=6, bursts_per_round=100,
-                                cost_model=ZERO_COST) == 600
+        assert run_differential(0xB4757, rounds=6, bursts_per_round=100 * SCALE,
+                                cost_model=ZERO_COST) == 600 * SCALE
 
     def test_eswitch_cost_deferred_emission(self):
         """≥400 bursts where every emission defers past the CPU charge."""
-        assert run_differential(0xE5717C4, rounds=4, bursts_per_round=100,
-                                cost_model=ESWITCH_COST_MODEL) == 400
+        assert run_differential(0xE5717C4, rounds=4, bursts_per_round=100 * SCALE,
+                                cost_model=ESWITCH_COST_MODEL) == 400 * SCALE
 
     def test_synchronous_reactive_controller_mid_burst(self):
         """A zero-latency controller wired straight back into

@@ -6,8 +6,12 @@ semantics-free: every test here checks them against the seed's linear
 scan, either per-lookup (randomized flow tables and packets) or
 end-to-end (two switches, one with the fast path disabled, fed the same
 traffic).
+
+Set ``DIFFERENTIAL_SCALE=<n>`` to multiply the randomized case counts
+(the nightly extended job runs at 5×).
 """
 
+import os
 import random
 
 import pytest
@@ -120,12 +124,16 @@ def reference_lookup(table: FlowTable, view: PacketView, now: float):
     return None
 
 
+#: Case-count multiplier; the nightly extended job sets this to 5.
+SCALE = max(1, int(os.environ.get("DIFFERENTIAL_SCALE", "1")))
+
+
 class TestRandomizedDifferential:
     def test_classifier_matches_linear_reference(self):
         """≥1000 random (flow table, packet) cases, zero divergence."""
         rng = random.Random(0x4A12)
         cases = 0
-        for round_index in range(25):
+        for round_index in range(25 * SCALE):
             table = FlowTable(table_id=0)
             for i in range(rng.randint(5, 40)):
                 entry = FlowEntry(
@@ -293,7 +301,7 @@ class TestEndToEndDifferential:
         frames = [random_frame(rng) for _ in range(40)]
         # Steady-state mix: every frame replayed several times so the
         # microflow cache actually serves hits.
-        schedule = [frames[rng.randrange(len(frames))] for _ in range(400)]
+        schedule = [frames[rng.randrange(len(frames))] for _ in range(400 * SCALE)]
         for frame in schedule:
             in_port = 1 if rng.random() < 0.7 else 2
             fast.inject(frame.copy(), in_port)
@@ -404,7 +412,7 @@ class TestChurnInterleavedDifferential:
         rng = random.Random(0xC0DE)
         frames = [random_frame(rng) for _ in range(30)]
         packets = 0
-        for _ in range(700):
+        for _ in range(700 * SCALE):
             if rng.random() < 0.15:
                 message = random_churn_message(rng).to_bytes()
                 replies_fast = fast.handle_message(message)

@@ -5,9 +5,12 @@ Covers the three contracts the specialized tier 0 lives by:
 * **miniflow shrinking** — the partial flow-key extractor must agree
   with the full ``PacketView`` decode on every slot subset, including
   malformed packets whose decode errors the full path swallows;
-* **eligibility** — pipelines the compiler cannot reproduce
-  bit-identically (multi-table, groups, packet-ins, mortal flows,
-  subclassed cost models) must be rejected, leaving the interpreter;
+* **eligibility** — goto-table chains, groups and mortal flows now
+  compile; rules the executor cannot reproduce bit-identically
+  (packet-ins, floods, action-set instructions) become per-entry
+  FALLBACK decisions routed through the interpreter, and only a
+  subclassed cost model (or an empty pipeline) rejects the whole
+  program;
 * **churn hysteresis / invalidation** — FlowMod, GroupMod and
   cost-model swaps mark the program stale *synchronously* (a stale
   program is never executed), mods are counted towards the recompile
@@ -202,19 +205,40 @@ class TestEligibility:
         )
         assert compile_datapath(switch) is not None
 
-    def test_multi_table_pipeline_rejected(self):
-        _, switch, _ = build_switch()
+    def test_multi_table_pipeline_compiles_as_chain(self):
+        sim, switch, sinks = build_switch()
+        switch.recompile_after_mods = 1
+        switch.recompile_quiescent_s = 0.0
         install(switch, match=Match(in_port=1), instructions=[GotoTable(table_id=1)])
         install(switch, table_id=1, match=Match(), instructions=output(2))
-        assert compile_datapath(switch) is None
+        switch.inject(frame_ab(), 1)
+        assert switch.program is not None
+        assert switch.program.fallback_reason is None
+        assert switch.specialized_frames == 1
+        sim.run()
+        assert len(sinks[1].received) == 1
+        # Both tables' counters advance exactly as under interpretation.
+        assert switch.tables[0].matches == 1
+        assert switch.tables[1].matches == 1
 
-    def test_mortal_flow_rejected(self):
-        _, switch, _ = build_switch()
+    def test_mortal_flow_compiles_and_expiry_is_honoured(self):
+        sim, switch, sinks = build_switch()
+        switch.recompile_after_mods = 1
+        switch.recompile_quiescent_s = 0.0
         install(switch, match=Match(in_port=1), hard_timeout=5, instructions=output(2))
-        assert compile_datapath(switch) is None
+        switch.inject(frame_ab(), 1)
+        program = switch.program
+        assert program is not None and program.mortal
+        sim.run(until=10.0)  # the flow's hard timeout lands
+        switch.inject(frame_ab(), 1)  # same flow key: cached decision revalidated
+        sim.run()
+        assert len(sinks[1].received) == 1  # only the pre-expiry frame got out
+        assert switch.specialized_frames == 2
 
-    def test_group_action_rejected(self):
-        _, switch, _ = build_switch()
+    def test_group_action_compiles(self):
+        sim, switch, sinks = build_switch()
+        switch.recompile_after_mods = 1
+        switch.recompile_quiescent_s = 0.0
         switch.handle_message(
             GroupMod(
                 command=c.OFPGC_ADD,
@@ -228,17 +252,33 @@ class TestEligibility:
             match=Match(in_port=1),
             instructions=[ApplyActions(actions=(GroupAction(group_id=1),))],
         )
-        assert compile_datapath(switch) is None
+        switch.inject(frame_ab(), 1)
+        assert switch.program is not None
+        sim.run()
+        assert len(sinks[1].received) == 1
+        group = switch.groups.get(1)
+        assert group.packet_count == 1
+        assert group.bucket_packet_counts == [1]
 
-    def test_controller_output_rejected(self):
+    def test_controller_output_compiles_to_fallback(self):
         _, switch, _ = build_switch()
+        switch.recompile_after_mods = 1
+        switch.recompile_quiescent_s = 0.0
         install(
             switch,
             match=Match(),
             priority=0,
             instructions=[ApplyActions(actions=(OutputAction(port=c.OFPP_CONTROLLER),))],
         )
-        assert compile_datapath(switch) is None
+        program = compile_datapath(switch)
+        assert program is not None
+        assert "controller" in program.fallback_reason
+        assert "controller" in switch.compile_ineligible_reason
+        switch.inject(frame_ab(), 1)
+        # The frame routed through the interpreter and raised a packet-in.
+        assert switch.fallback_frames == 1
+        assert switch.specialized_frames == 0
+        assert switch.packets_to_controller == 1
 
     def test_subclassed_cost_model_rejected(self):
         class WeirdModel(DatapathCostModel):
@@ -366,12 +406,16 @@ class TestHysteresisAndInvalidation:
         assert switch.program is not None
 
     def test_uncompilable_pipeline_stays_interpreted_without_retry_storm(self):
+        class HookedModel(DatapathCostModel):
+            pass
+
         _, switch, _ = self._specialized()
-        install(switch, match=Match(in_port=1), instructions=[GotoTable(table_id=1)])
-        install(switch, table_id=1, match=Match(), instructions=output(2))
+        switch.cost_model = HookedModel.zero()
+        install(switch, match=Match(in_port=1), instructions=output(2))
         switch.inject(frame_ab(), 1)
         assert switch.program is None
         assert switch.program_compile_failures == 1
+        assert "subclassed" in switch.compile_ineligible_reason
         switch.inject(frame_ab(), 1)  # no pending mods: no second attempt
         assert switch.program_compile_failures == 1
         assert switch.fallback_frames == 2
@@ -385,6 +429,55 @@ class TestHysteresisAndInvalidation:
         assert switch.program is None
         assert switch.program_compiles == 0
         assert switch.fallback_frames == 0  # counter reserved for enabled switches
+
+    def test_stats_surface_ineligible_reason(self):
+        _, switch, _ = self._specialized()
+        install(switch, match=Match(in_port=1), instructions=output(2))
+        switch.inject(frame_ab(), 1)
+        assert switch.stats()["specialization"]["ineligible_reason"] is None
+        install(
+            switch,
+            match=Match(in_port=2),
+            priority=7,
+            instructions=[ApplyActions(actions=(OutputAction(port=c.OFPP_FLOOD),))],
+        )
+        switch.inject(frame_ab(), 1)
+        reason = switch.stats()["specialization"]["ineligible_reason"]
+        assert "table 0 priority 7" in reason
+        assert "flood" in reason
+
+    def test_interpreted_hits_feed_profile_cells(self):
+        _, switch, _ = build_switch(enable_specialization=False)
+        install(switch, match=Match(eth_dst=int(MACS[1])), instructions=output(2))
+        for port in (2000, 2001, 2002):  # distinct keys: bypass the microflow cache
+            switch.inject(frame_ab(dst_port=port), 1)
+        hits = switch.tables[0].profile_hits()
+        assert hits[("exact", ("eth_dst",))] == 3
+
+    def test_probe_order_is_behaviour_preserving(self):
+        rng = random.Random(0xBEEF)
+        _, switch, _ = build_switch()
+        install(
+            switch, match=Match(eth_dst=int(MACS[1])), priority=5, instructions=output(2)
+        )
+        install(
+            switch,
+            match=Match(eth_type=0x0800, ipv4_dst=("10.0.1.0", "255.255.255.0")),
+            priority=5,
+            instructions=output(3),
+        )
+        install(switch, match=Match(in_port=2), priority=3, instructions=output(2))
+        install(switch, match=Match(), priority=0, instructions=[])
+        base = compile_datapath(switch, probe_order="priority")
+        for order in ("profile", 0, 1, 7):
+            variant = compile_datapath(switch, probe_order=order)
+            assert variant.probe_order == order
+            for _ in range(50):
+                frame = random_frame(rng)
+                in_port = rng.randint(1, 4)
+                assert variant.classify(frame, in_port, 0.0) == base.classify(
+                    frame, in_port, 0.0
+                ), (frame, in_port, order)
 
     def test_stats_shape(self):
         _, switch, _ = self._specialized()

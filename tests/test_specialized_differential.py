@@ -5,15 +5,22 @@ semantics-free: a switch with specialization enabled must produce
 byte-identical emitted frames in identical order — and identical
 packet-ins, flow/table/group counters and drop totals — to an
 identically-provisioned switch running the PR 1-3 interpreted fast
-path.  The suite drives both through ≥1000 randomly generated bursts
-while control-plane churn flips the pipeline between compilable and
-uncompilable shapes, so every phase is exercised: compiled execution,
-compile-fallback windows (uncompilable rules, pending-mod hysteresis),
-recompiles landing between bursts of live traffic, and — via a
-synchronous reactive controller — mutations landing *mid-burst* while
-the fallback interpreter is serving the remaining frames.
+path.  Each case family drives both through ≥1000 randomly generated
+churn-interleaved bursts along one eligibility dimension the compiler
+now covers — goto-table chains, group execution (all / select /
+indirect / dead references), idle- and hard-timeout expiry — plus the
+mixed suite that flips between compiled execution, per-entry FALLBACK
+windows (packet-ins, floods, transform-before-goto), recompiles
+landing between bursts of live traffic, and — via a synchronous
+reactive controller — mutations landing *mid-burst* while the
+fallback interpreter is serving the remaining frames.
+
+Set ``DIFFERENTIAL_SCALE=<n>`` to multiply every family's case count
+(the nightly job runs at 5×).  On any divergence the failing seed is
+printed so the case reproduces standalone.
 """
 
+import os
 import random
 
 from repro.net import EthernetFrame, IPv4Address, MACAddress
@@ -40,6 +47,9 @@ from repro.openflow.messages import PacketIn, parse_message
 from repro.softswitch import DatapathCostModel, ESWITCH_COST_MODEL, SoftSwitch
 
 ZERO_COST = DatapathCostModel.zero()
+
+#: Case-count multiplier; the nightly extended job sets this to 5.
+SCALE = max(1, int(os.environ.get("DIFFERENTIAL_SCALE", "1")))
 
 MACS = [MACAddress(0x020000000001 + i) for i in range(4)]
 IPS = [IPv4Address(f"10.0.{i // 4}.{i % 4 + 1}") for i in range(8)]
@@ -129,40 +139,173 @@ def compilable_instructions(rng: random.Random):
     return [ApplyActions(actions=tuple(actions))]
 
 
-def uncompilable_flow_mod(rng: random.Random) -> FlowMod:
-    """An install that forces the switch back onto the interpreter."""
+def fallback_flow_mod(rng: random.Random) -> FlowMod:
+    """An install the compiler must route through a FALLBACK decision.
+
+    These shapes (packet-ins, floods, transforms before a goto) are the
+    only per-entry escapes left now that chains, groups and timeouts
+    compile; they keep the mixed suite flipping between tier 0 and the
+    interpreter mid-traffic.
+    """
     roll = rng.random()
-    if roll < 0.3:  # multi-table walk
-        return FlowMod(
-            table_id=0,
-            match=random_match(rng),
-            priority=rng.randint(0, 30),
-            instructions=[GotoTable(table_id=1)],
-        )
-    if roll < 0.5:  # second-table occupancy
-        return FlowMod(
-            table_id=1,
-            match=random_match(rng),
-            priority=rng.randint(0, 30),
-            instructions=[ApplyActions(actions=(OutputAction(port=rng.randint(1, 3)),))],
-        )
-    if roll < 0.7:  # group execution
-        return FlowMod(
-            match=random_match(rng),
-            priority=rng.randint(0, 30),
-            instructions=[ApplyActions(actions=(GroupAction(group_id=1),))],
-        )
-    if roll < 0.85:  # packet-in
+    if roll < 0.4:  # packet-in
         return FlowMod(
             match=random_match(rng),
             priority=rng.randint(0, 30),
             instructions=[ApplyActions(actions=(OutputAction(port=c.OFPP_CONTROLLER),))],
         )
-    return FlowMod(  # mortal flow: expiry re-arbitration
+    if roll < 0.7:  # flood
+        return FlowMod(
+            match=random_match(rng),
+            priority=rng.randint(0, 30),
+            instructions=[ApplyActions(actions=(OutputAction(port=c.OFPP_FLOOD),))],
+        )
+    return FlowMod(  # frame transform before a table walk continues
+        table_id=0,
         match=random_match(rng),
         priority=rng.randint(0, 30),
-        hard_timeout=rng.choice((1, 2)),
-        instructions=[ApplyActions(actions=(OutputAction(port=rng.randint(1, 3)),))],
+        instructions=[
+            ApplyActions(
+                actions=(SetFieldAction(field="eth_dst", value=int(rng.choice(MACS))),)
+            ),
+            GotoTable(table_id=1),
+        ],
+    )
+
+
+def chain_churn_message(rng: random.Random):
+    """Multi-table family: goto chains, later-table rules, mid-walk misses."""
+    roll = rng.random()
+    if roll < 0.3:  # a goto hop deeper into the pipeline
+        src = rng.choice((0, 0, 0, 1))
+        return FlowMod(
+            table_id=src,
+            match=random_match(rng),
+            priority=rng.randint(0, 30),
+            instructions=[GotoTable(table_id=rng.randint(src + 1, 3))],
+        )
+    if roll < 0.55:  # terminal rule in a later table
+        return FlowMod(
+            table_id=rng.randint(1, 3),
+            match=random_match(rng),
+            priority=rng.randint(0, 30),
+            instructions=compilable_instructions(rng),
+        )
+    if roll < 0.65:  # an output before the hop (legal: no transform)
+        return FlowMod(
+            table_id=rng.choice((0, 1)),
+            match=random_match(rng),
+            priority=rng.randint(0, 30),
+            instructions=[
+                ApplyActions(actions=(OutputAction(port=rng.randint(1, 3)),)),
+                GotoTable(table_id=rng.randint(2, 3)),
+            ],
+        )
+    if roll < 0.75:  # transform-before-goto: per-entry fallback inside the family
+        return fallback_flow_mod(rng)
+    if roll < 0.88:  # wipe a later table: live chains start missing mid-walk
+        return FlowMod(
+            table_id=rng.randint(1, 3), command=c.OFPFC_DELETE, match=Match()
+        )
+    return FlowMod(
+        table_id=rng.choice((0, 1, 2)),
+        command=rng.choice((c.OFPFC_DELETE, c.OFPFC_DELETE_STRICT)),
+        match=random_match(rng),
+        priority=rng.randint(0, 30),
+    )
+
+
+def random_buckets(rng: random.Random) -> "list[Bucket]":
+    buckets = []
+    for _ in range(rng.randint(1, 3)):
+        actions = [OutputAction(port=rng.randint(1, 3))]
+        if rng.random() < 0.4:  # rewrite-then-forward, as the LB use case does
+            actions.insert(
+                0, SetFieldAction(field="eth_dst", value=int(rng.choice(MACS)))
+            )
+        buckets.append(Bucket(actions=actions, weight=rng.randint(1, 3)))
+    return buckets
+
+
+def group_churn_message(rng: random.Random):
+    """Group family: all/select/indirect execution, remaps, dead references."""
+    roll = rng.random()
+    if roll < 0.4:  # point a flow at a group — sometimes one that never exists
+        return FlowMod(
+            match=random_match(rng),
+            priority=rng.randint(0, 30),
+            instructions=[
+                ApplyActions(
+                    actions=(GroupAction(group_id=rng.choice((1, 2, 3, 3, 9))),)
+                )
+            ],
+        )
+    if roll < 0.5:  # group execution at the end of a chain
+        return FlowMod(
+            table_id=rng.choice((0, 1)),
+            match=random_match(rng),
+            priority=rng.randint(0, 30),
+            instructions=[GotoTable(table_id=rng.randint(1, 3))]
+            if rng.random() < 0.5
+            else [ApplyActions(actions=(GroupAction(group_id=rng.choice((1, 2)),),))],
+        )
+    if roll < 0.85:  # reshape a group (type flips included)
+        group_type = rng.choice((c.OFPGT_ALL, c.OFPGT_SELECT, c.OFPGT_SELECT))
+        buckets = random_buckets(rng)
+        if group_type == c.OFPGT_INDIRECT:
+            buckets = buckets[:1]
+        return GroupMod(
+            command=rng.choice((c.OFPGC_ADD, c.OFPGC_MODIFY, c.OFPGC_MODIFY)),
+            group_type=group_type,
+            group_id=rng.choice((1, 2, 3)),
+            buckets=buckets,
+        )
+    if roll < 0.93:  # indirect group (single bucket by definition)
+        return GroupMod(
+            command=rng.choice((c.OFPGC_ADD, c.OFPGC_MODIFY)),
+            group_type=c.OFPGT_INDIRECT,
+            group_id=rng.choice((2, 3)),
+            buckets=random_buckets(rng)[:1],
+        )
+    return GroupMod(  # delete: flows referencing it now drop (dead group)
+        command=c.OFPGC_DELETE,
+        group_type=c.OFPGT_ALL,
+        group_id=rng.choice((2, 3)),
+        buckets=[],
+    )
+
+
+def mortal_churn_message(rng: random.Random):
+    """Timeout family: idle/hard expiry landing between live bursts."""
+    roll = rng.random()
+    if roll < 0.65:
+        return FlowMod(
+            table_id=rng.choice((0, 0, 0, 1)),
+            match=random_match(rng),
+            priority=rng.randint(0, 30),
+            idle_timeout=rng.choice((0, 0, 1)),
+            hard_timeout=rng.choice((0, 1, 1, 2)),
+            instructions=compilable_instructions(rng),
+        )
+    if roll < 0.8:  # a mortal hop: the chain dies when the goto rule does
+        return FlowMod(
+            table_id=0,
+            match=random_match(rng),
+            priority=rng.randint(0, 30),
+            hard_timeout=rng.choice((1, 2)),
+            instructions=[GotoTable(table_id=1)],
+        )
+    if roll < 0.9:  # immortal churn mixed in: recompiles amid expiry
+        return FlowMod(
+            match=random_match(rng),
+            priority=rng.randint(0, 30),
+            instructions=compilable_instructions(rng),
+        )
+    return FlowMod(
+        table_id=rng.choice((0, 1)),
+        command=c.OFPFC_DELETE,
+        match=random_match(rng),
+        priority=rng.randint(0, 30),
     )
 
 
@@ -175,7 +318,7 @@ def random_churn_message(rng: random.Random):
             instructions=compilable_instructions(rng),
         )
     if roll < 0.57:
-        return uncompilable_flow_mod(rng)
+        return fallback_flow_mod(rng)
     if roll < 0.68:  # purge the second table: flips goto pipelines back
         return FlowMod(
             table_id=1, command=c.OFPFC_DELETE, match=Match()
@@ -269,13 +412,29 @@ def assert_identical(spec_rig, interp_rig):
     for table_a, table_b in zip(spec.tables, interp.tables):
         assert table_a.lookups == table_b.lookups
         assert table_a.matches == table_b.matches
-    group_a, group_b = spec.groups.get(1), interp.groups.get(1)
-    assert group_a.packet_count == group_b.packet_count
-    assert group_a.bucket_packet_counts == group_b.bucket_packet_counts
+    assert spec.groups.dump() == interp.groups.dump()
+    for group_id in range(10):
+        group_a, group_b = spec.groups.get(group_id), interp.groups.get(group_id)
+        assert (group_a is None) == (group_b is None), f"group {group_id} presence"
+        if group_a is not None:
+            assert group_a.packet_count == group_b.packet_count, f"group {group_id}"
+            assert group_a.bucket_packet_counts == group_b.bucket_packet_counts
 
 
-def run_differential(seed, rounds, bursts_per_round, cost_model):
-    """Returns (bursts compared, aggregated specialization stats)."""
+def run_differential(
+    seed,
+    rounds,
+    bursts_per_round,
+    cost_model,
+    churn=random_churn_message,
+    churn_prob=0.3,
+    clock_step=0.12,
+):
+    """Returns (bursts compared, aggregated specialization stats).
+
+    *churn* picks the case family; on any divergence the seed and the
+    family are printed so the failing case reproduces standalone.
+    """
     rng = random.Random(seed)
     bursts_done = 0
     totals = {
@@ -285,61 +444,123 @@ def run_differential(seed, rounds, bursts_per_round, cost_model):
         "compile_failures": 0,
         "invalidations": 0,
     }
-    for _ in range(rounds):
-        spec_rig = build_rig(cost_model, specialize=True)
-        interp_rig = build_rig(cost_model, specialize=False)
-        sim_a, spec, _, _ = spec_rig
-        sim_b, interp, _, _ = interp_rig
-        pool = [random_frame(rng) for _ in range(24)]
-        clock = 0.0
-        for _ in range(bursts_per_round):
-            clock += rng.random() * 0.12  # lets mortal flows expire mid-run
-            sim_a.run(until=clock)
-            sim_b.run(until=clock)
-            if rng.random() < 0.3:
-                message = random_churn_message(rng).to_bytes()
-                assert spec.handle_message(message) == interp.handle_message(message)
-            size = rng.choice((1, 2, 3, 4, 6, 8, 8, 12))
-            frames = [pool[rng.randrange(len(pool))] for _ in range(size)]
-            in_port = 1 if rng.random() < 0.7 else rng.randint(2, 3)
-            if size == 1 and rng.random() < 0.5:
-                spec.inject(frames[0], in_port)
-                interp.inject(frames[0], in_port)
-            else:
-                spec.process_batch(in_port, list(frames))
-                interp.process_batch(in_port, list(frames))
-            bursts_done += 1
-        sim_a.run()
-        sim_b.run()
-        assert_identical(spec_rig, interp_rig)
-        stats = spec.stats()["specialization"]
-        for key in totals:
-            totals[key] += stats[key]
+    try:
+        for _ in range(rounds):
+            spec_rig = build_rig(cost_model, specialize=True)
+            interp_rig = build_rig(cost_model, specialize=False)
+            sim_a, spec, _, _ = spec_rig
+            sim_b, interp, _, _ = interp_rig
+            pool = [random_frame(rng) for _ in range(24)]
+            clock = 0.0
+            for _ in range(bursts_per_round):
+                clock += rng.random() * clock_step  # lets mortal flows expire
+                sim_a.run(until=clock)
+                sim_b.run(until=clock)
+                if rng.random() < churn_prob:
+                    message = churn(rng).to_bytes()
+                    assert spec.handle_message(message) == (
+                        interp.handle_message(message)
+                    )
+                size = rng.choice((1, 2, 3, 4, 6, 8, 8, 12))
+                frames = [pool[rng.randrange(len(pool))] for _ in range(size)]
+                in_port = 1 if rng.random() < 0.7 else rng.randint(2, 3)
+                if size == 1 and rng.random() < 0.5:
+                    spec.inject(frames[0], in_port)
+                    interp.inject(frames[0], in_port)
+                else:
+                    spec.process_batch(in_port, list(frames))
+                    interp.process_batch(in_port, list(frames))
+                bursts_done += 1
+            sim_a.run()
+            sim_b.run()
+            assert_identical(spec_rig, interp_rig)
+            stats = spec.stats()["specialization"]
+            for key in totals:
+                totals[key] += stats[key]
+    except AssertionError:
+        print(
+            f"\nDIFFERENTIAL FAILURE: seed=0x{seed:X} family={churn.__name__} "
+            f"rounds={rounds} bursts_per_round={bursts_per_round} "
+            f"cost_model={'zero' if cost_model is ZERO_COST else 'eswitch'} "
+            f"burst_index={bursts_done}"
+        )
+        raise
     return bursts_done, totals
 
 
 class TestSpecializedDifferential:
     def test_zero_cost_differential(self):
-        """≥600 bursts with immediate (coalesced) egress."""
+        """≥600 mixed bursts with immediate (coalesced) egress."""
         bursts, totals = run_differential(
-            0x5BEC, rounds=4, bursts_per_round=150, cost_model=ZERO_COST
+            0x5BEC, rounds=4, bursts_per_round=150 * SCALE, cost_model=ZERO_COST
         )
-        assert bursts == 600
+        assert bursts == 600 * SCALE
         # Every phase was actually exercised (deterministic seed).
         assert totals["specialized_frames"] > 400
-        assert totals["fallback_frames"] > 1000
-        assert totals["compiles"] >= 15
-        assert totals["compile_failures"] > 50  # uncompilable windows
-        assert totals["invalidations"] >= 15  # recompiles amid live traffic
+        assert totals["fallback_frames"] > 100  # packet-in / flood escapes
+        assert totals["compiles"] >= 10
+        assert totals["invalidations"] >= 10  # recompiles amid live traffic
 
     def test_eswitch_cost_deferred_emission(self):
         """≥400 bursts where every emission defers past the CPU charge."""
         bursts, totals = run_differential(
-            0xE5C0DE, rounds=4, bursts_per_round=110, cost_model=ESWITCH_COST_MODEL
+            0xE5C0DE,
+            rounds=4,
+            bursts_per_round=110 * SCALE,
+            cost_model=ESWITCH_COST_MODEL,
         )
-        assert bursts == 440
+        assert bursts == 440 * SCALE
         assert totals["specialized_frames"] > 500
-        assert totals["fallback_frames"] > 500
+        assert totals["fallback_frames"] > 100
+
+    def test_multi_table_chain_family(self):
+        """≥1000 bursts of goto-chain churn: hops up to table 3, chains
+        dying mid-walk as later tables are wiped, outputs before hops,
+        and transform-before-goto entries falling back per entry."""
+        bursts, totals = run_differential(
+            0xC4A1,
+            rounds=4,
+            bursts_per_round=250 * SCALE,
+            cost_model=ZERO_COST,
+            churn=chain_churn_message,
+            churn_prob=0.35,
+        )
+        assert bursts == 1000 * SCALE
+        assert totals["specialized_frames"] > 1000
+        assert totals["compiles"] >= 10
+
+    def test_group_family(self):
+        """≥1000 bursts of group churn: all/select/indirect execution,
+        type flips, bucket remaps landing between bursts, and flows
+        pointed at groups that never existed (dead-group drops)."""
+        bursts, totals = run_differential(
+            0x6B0B,
+            rounds=4,
+            bursts_per_round=250 * SCALE,
+            cost_model=ZERO_COST,
+            churn=group_churn_message,
+            churn_prob=0.35,
+        )
+        assert bursts == 1000 * SCALE
+        assert totals["specialized_frames"] > 1000
+        assert totals["invalidations"] >= 10  # group mods mark stale
+
+    def test_timeout_family(self):
+        """≥1000 bursts with idle/hard timeouts armed: expiry lands
+        between bursts while compiled decisions for the dead entries
+        are still cached, forcing the mortal revalidation path."""
+        bursts, totals = run_differential(
+            0x7E0D,
+            rounds=4,
+            bursts_per_round=250 * SCALE,
+            cost_model=ZERO_COST,
+            churn=mortal_churn_message,
+            churn_prob=0.35,
+            clock_step=0.3,  # wider steps: timeouts actually land
+        )
+        assert bursts == 1000 * SCALE
+        assert totals["specialized_frames"] > 1000
+        assert totals["compiles"] >= 10
 
     def test_mid_burst_mutation_via_reactive_controller(self):
         """A zero-latency controller wired straight back into
@@ -444,5 +665,8 @@ class TestSpecializedDifferential:
         assert_identical(burst_rig, seq_rig)
 
     def test_case_count_meets_acceptance(self):
-        """The two randomized suites together exceed 1000 compared bursts."""
-        assert 600 + 440 >= 1000
+        """Every new eligibility dimension gets ≥1000 compared bursts,
+        and the mixed suites together add another 1000+."""
+        assert 600 + 440 >= 1000  # mixed churn (zero-cost + eswitch-cost)
+        for family_bursts in (1000, 1000, 1000):  # chains, groups, timeouts
+            assert family_bursts * SCALE >= 1000
